@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks for the performance-critical substrate:
+//! event engine throughput, BGP machinery, path resolution, channel
+//! sampling and topology generation/convergence.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vns_bench::campaign::prefix_metas;
+use vns_bench::World;
+use vns_bgp::{compare_routes, Candidate, DecisionContext, Prefix, PrefixTrie};
+use vns_core::PopId;
+use vns_geo::GeoPoint;
+use vns_netsim::{Dur, Engine, LossModel, LossProcess, SimTime};
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("engine/1M_events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u32> = Engine::new();
+            for i in 0..1000u32 {
+                eng.schedule(SimTime::EPOCH + Dur::from_micros(u64::from(i)), i);
+            }
+            let mut n = 0u64;
+            eng.run_to_completion(|ctx, ev| {
+                n += 1;
+                if n < 1_000_000 {
+                    ctx.schedule_in(Dur::from_micros(1), ev);
+                }
+            });
+            black_box(n)
+        })
+    });
+}
+
+fn bench_great_circle(c: &mut Criterion) {
+    let a = GeoPoint::new(52.37, 4.90);
+    let bpt = GeoPoint::new(1.35, 103.82);
+    c.bench_function("geo/great_circle", |b| {
+        b.iter(|| black_box(vns_geo::great_circle_km(black_box(a), black_box(bpt))))
+    });
+}
+
+fn bench_trie_lpm(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    let mut rng = SmallRng::seed_from_u64(5);
+    use rand::Rng;
+    for i in 0..10_000u32 {
+        let len = rng.gen_range(12..=24);
+        trie.insert(Prefix::new(rng.gen(), len), i);
+    }
+    c.bench_function("bgp/trie_lpm_10k", |b| {
+        let mut ip = 0u32;
+        b.iter(|| {
+            ip = ip.wrapping_add(0x9e37_79b9);
+            black_box(trie.lookup(black_box(ip)))
+        })
+    });
+}
+
+fn bench_decision(c: &mut Criterion) {
+    use vns_bgp::{Asn, Origin, Relation, RouteAttrs, RouteSource, SpeakerId};
+    let mk = |lp: u32, path_len: usize, peer: u32| Candidate {
+        attrs: RouteAttrs {
+            local_pref: lp,
+            as_path: (0..path_len as u32).map(Asn).collect(),
+            origin: Origin::Igp,
+            med: 0,
+            communities: vec![],
+            next_hop: SpeakerId(peer),
+            originator_id: None,
+            cluster_list: vec![],
+        },
+        source: RouteSource::Ebgp {
+            peer: SpeakerId(peer),
+            peer_as: Asn(peer),
+            relation: Relation::Provider,
+        },
+    };
+    let a = mk(100, 3, 7);
+    let b2 = mk(100, 3, 9);
+    let ctx = DecisionContext::no_igp();
+    c.bench_function("bgp/compare_routes", |b| {
+        b.iter(|| black_box(compare_routes(black_box(&a), black_box(&b2), &ctx)))
+    });
+}
+
+fn bench_loss_process(c: &mut Criterion) {
+    let model = LossModel::bursty(0.01, 0.4, 2.0);
+    c.bench_function("netsim/ge_loss_sample", |b| {
+        let mut p = LossProcess::new(model.clone(), SmallRng::seed_from_u64(1));
+        let mut t = SimTime::EPOCH;
+        b.iter(|| {
+            t += Dur::from_millis(2);
+            black_box(p.packet_lost(t))
+        })
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("generate+converge", "scale0.45"), |b| {
+        b.iter(|| black_box(World::geo(black_box(3), 0.45)))
+    });
+    g.finish();
+}
+
+fn bench_path_resolution(c: &mut Criterion) {
+    let world = World::geo(11, 0.45);
+    let metas = prefix_metas(&world);
+    c.bench_function("path/resolve_via_vns", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let m = &metas[i % metas.len()];
+            i += 1;
+            black_box(world.vns.path_via_vns(&world.internet, PopId(9), m.ip).ok())
+        })
+    });
+}
+
+fn bench_media_session(c: &mut Criterion) {
+    use vns_media::{run_echo_session, SessionConfig, VideoSpec};
+    let mut world = World::geo(13, 0.45);
+    let echo = world.vns.echo_servers()[0];
+    let path = world
+        .vns
+        .path_via_upstream(&world.internet, PopId(1), echo.address())
+        .expect("path");
+    let mut fwd = world.factory.channel(&path, "bench-f");
+    let mut rev = world.factory.channel(&path.reversed(), "bench-r");
+    let cfg = SessionConfig::default();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("media");
+    g.sample_size(20);
+    g.bench_function("echo_session_2min_1080p", |b| {
+        let mut t = SimTime::EPOCH;
+        b.iter(|| {
+            t += Dur::from_mins(30);
+            let sched = VideoSpec::HD1080.schedule(t, cfg.duration, &mut rng);
+            black_box(run_echo_session(&sched, &cfg, &mut fwd, &mut rev))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_engine,
+    bench_great_circle,
+    bench_trie_lpm,
+    bench_decision,
+    bench_loss_process,
+    bench_topology,
+    bench_path_resolution,
+    bench_media_session
+);
+criterion_main!(benches);

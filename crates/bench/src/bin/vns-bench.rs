@@ -1,0 +1,245 @@
+//! `vns-bench` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] <cmd>
+//!
+//! cmd: fig3 | as-congruence | fig4 | fig5 | fig6 | fig7 | fig9 | fig10 |
+//!      fig11 | fig12 | table1 | jitter |
+//!      ablate-lp | ablate-best-external | ablate-geoip | ablate-fec |
+//!      ablate-l2 | ablate-mode | ablate-measurement | ablate-auto-override |
+//!      economics | setup-time | all
+//! ```
+//!
+//! Results print to stdout as labelled series/tables (see EXPERIMENTS.md
+//! for paper-vs-measured). Run with `--release`; the default scales finish
+//! in a few minutes combined.
+
+use std::process::ExitCode;
+
+use vns_bench::experiments::{
+    ablate, congruence, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig9, jitter, table1,
+};
+use vns_bench::World;
+use vns_netsim::Dur;
+
+#[derive(Debug, Clone)]
+struct Opts {
+    seed: u64,
+    scale: f64,
+    sessions: usize,
+    hosts_per_cell: usize,
+    days: f64,
+    out: Option<std::path::PathBuf>,
+    cmd: String,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        seed: 77,
+        scale: 1.0,
+        sessions: 40,
+        hosts_per_cell: 10,
+        days: 2.0,
+        out: None,
+        cmd: String::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value after {name}"))
+        };
+        match a.as_str() {
+            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scale" => {
+                opts.scale = take("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--sessions" => {
+                opts.sessions = take("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("--sessions: {e}"))?
+            }
+            "--hosts" => {
+                opts.hosts_per_cell = take("--hosts")?
+                    .parse()
+                    .map_err(|e| format!("--hosts: {e}"))?
+            }
+            "--days" => opts.days = take("--days")?.parse().map_err(|e| format!("--days: {e}"))?,
+            "--out" => opts.out = Some(std::path::PathBuf::from(take("--out")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            cmd if !cmd.starts_with('-') && opts.cmd.is_empty() => opts.cmd = cmd.to_string(),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if opts.cmd.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] [--out DIR] <experiment>\n\
+experiments: fig3 as-congruence fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 table1 jitter\n\
+             ablate-lp ablate-best-external ablate-geoip ablate-fec ablate-l2 ablate-mode\n\
+             ablate-measurement ablate-auto-override economics setup-time all";
+
+fn campaign_span(opts: &Opts) -> Dur {
+    Dur::from_mins((opts.days * 24.0 * 60.0) as u64)
+}
+
+/// Prints a result and, with `--out`, also writes it to `DIR/<cmd>.txt`
+/// so the series can be re-plotted without re-running.
+fn emit(opts: &Opts, cmd: &str, body: String) -> Result<(), String> {
+    println!("{body}");
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--out {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{cmd}.txt"));
+        std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn run_one(opts: &Opts, cmd: &str) -> Result<(), String> {
+    let timer = std::time::Instant::now();
+    eprintln!("== {cmd} (seed {}, scale {}) ==", opts.seed, opts.scale);
+    match cmd {
+        "fig3" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            emit(opts, cmd, fig3::run(&mut w).to_string())?;
+        }
+        "as-congruence" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            emit(opts, cmd, congruence::run(&mut w).to_string())?;
+        }
+        "fig4" => {
+            let before = World::hot(opts.seed, opts.scale);
+            let after = World::geo(opts.seed, opts.scale);
+            emit(opts, cmd, fig4::run(&before, &after).to_string())?;
+        }
+        "fig5" => {
+            let before = World::hot(opts.seed, opts.scale);
+            let after = World::geo(opts.seed, opts.scale);
+            emit(opts, cmd, fig5::run(&before, &after).to_string())?;
+        }
+        "fig6" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            emit(opts, cmd, fig6::run(&mut w, 3).to_string())?;
+        }
+        "fig7" => {
+            let w = World::geo(opts.seed, opts.scale);
+            emit(opts, cmd, fig7::run(&w).to_string())?;
+        }
+        "fig9" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            emit(opts, cmd, fig9::run(&mut w, opts.sessions).to_string())?;
+        }
+        "fig10" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            let nine = fig9::run(&mut w, opts.sessions);
+            emit(opts, cmd, fig10::run(&nine.sessions).to_string())?;
+        }
+        "fig11" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            let data = fig11::run_campaign(
+                &mut w,
+                opts.hosts_per_cell,
+                Dur::from_mins(30),
+                campaign_span(opts),
+            );
+            emit(opts, cmd, fig11::run(&data).to_string())?;
+        }
+        "fig12" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            let data = fig11::run_campaign(
+                &mut w,
+                opts.hosts_per_cell,
+                Dur::from_mins(30),
+                campaign_span(opts),
+            );
+            emit(opts, cmd, fig12::run(&data).to_string())?;
+        }
+        "table1" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            let data = fig11::run_campaign(
+                &mut w,
+                opts.hosts_per_cell,
+                Dur::from_mins(30),
+                campaign_span(opts),
+            );
+            emit(opts, cmd, table1::run(&data).to_string())?;
+        }
+        "jitter" => {
+            let mut w = World::geo(opts.seed, opts.scale);
+            emit(opts, cmd, jitter::run(&mut w, opts.sessions.min(20)).to_string())?;
+        }
+        "ablate-lp" => emit(opts, cmd, ablate::lp_shape(opts.seed, opts.scale).to_string())?,
+        "ablate-best-external" => {
+            emit(opts, cmd, ablate::best_external(opts.seed, opts.scale).to_string())?
+        }
+        "ablate-geoip" => emit(opts, cmd, ablate::geoip(opts.seed, opts.scale).to_string())?,
+        "ablate-fec" => emit(opts, cmd, ablate::fec_arq(opts.seed).to_string())?,
+        "ablate-l2" => emit(opts, cmd, ablate::l2_topology(opts.seed, opts.scale).to_string())?,
+        "ablate-mode" => emit(opts, cmd, ablate::mode_delay(opts.seed, opts.scale).to_string())?,
+        "ablate-measurement" => {
+            emit(opts, cmd, ablate::geo_vs_measurement(opts.seed, opts.scale).to_string())?
+        }
+        "ablate-auto-override" => {
+            emit(opts, cmd, ablate::auto_override(opts.seed, opts.scale, 30.0).to_string())?
+        }
+        "economics" => emit(opts, cmd, ablate::economics(opts.seed, opts.scale).to_string())?,
+        "setup-time" => emit(opts, cmd, ablate::setup_time(opts.seed, opts.scale).to_string())?,
+        "all" => {
+            // Share worlds/campaigns where possible to keep `all` fast.
+            let before = World::hot(opts.seed, opts.scale);
+            let mut w = World::geo(opts.seed, opts.scale);
+            println!("{}", fig3::run(&mut w));
+            println!("{}", congruence::run(&mut w));
+            println!("{}", fig4::run(&before, &w));
+            println!("{}", fig5::run(&before, &w));
+            println!("{}", fig6::run(&mut w, 3));
+            println!("{}", fig7::run(&w));
+            let nine = fig9::run(&mut w, opts.sessions);
+            println!("{nine}");
+            println!("{}", fig10::run(&nine.sessions));
+            let data = fig11::run_campaign(
+                &mut w,
+                opts.hosts_per_cell,
+                Dur::from_mins(30),
+                campaign_span(opts),
+            );
+            emit(opts, cmd, fig11::run(&data).to_string())?;
+            emit(opts, cmd, fig12::run(&data).to_string())?;
+            emit(opts, cmd, table1::run(&data).to_string())?;
+            println!("{}", jitter::run(&mut w, opts.sessions.min(20)));
+            println!("{}", ablate::lp_shape(opts.seed, opts.scale));
+            println!("{}", ablate::best_external(opts.seed, opts.scale));
+            println!("{}", ablate::geoip(opts.seed, opts.scale));
+            println!("{}", ablate::fec_arq(opts.seed));
+            println!("{}", ablate::l2_topology(opts.seed, opts.scale));
+            println!("{}", ablate::mode_delay(opts.seed, opts.scale));
+            println!("{}", ablate::geo_vs_measurement(opts.seed, opts.scale));
+            println!("{}", ablate::auto_override(opts.seed, opts.scale, 30.0));
+            println!("{}", ablate::economics(opts.seed, opts.scale));
+            println!("{}", ablate::setup_time(opts.seed, opts.scale));
+        }
+        other => return Err(format!("unknown experiment {other}\n{USAGE}")),
+    }
+    eprintln!("== {cmd} done in {:.1}s ==", timer.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+        Ok(opts) => match run_one(&opts, &opts.cmd.clone()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,78 @@
+//! `vns-explain` — prints how traffic flows, hop by hop, for a sample of
+//! destinations, with each hop's loss-model mean. Useful for understanding
+//! the simulated world and for debugging calibration.
+//!
+//! ```sh
+//! vns-explain [--seed N] [--scale F] [--pop CODE] [--count N]
+//! ```
+
+use vns_bench::campaign::prefix_metas;
+use vns_bench::World;
+use vns_core::PopId;
+
+fn main() {
+    let mut seed = 77u64;
+    let mut scale = 0.6f64;
+    let mut pop_code = "AMS".to_string();
+    let mut count = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().expect("flag value");
+        match a.as_str() {
+            "--seed" => seed = val().parse().expect("seed"),
+            "--scale" => scale = val().parse().expect("scale"),
+            "--pop" => pop_code = val(),
+            "--count" => count = val().parse().expect("count"),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let w = World::geo(seed, scale);
+    let pop = w
+        .vns
+        .pop_by_code(&pop_code)
+        .unwrap_or_else(|| panic!("unknown PoP code {pop_code}"))
+        .id();
+    let metas = prefix_metas(&w);
+    println!(
+        "world: {} ASes, {} prefixes; vantage {}",
+        w.internet.as_count(),
+        metas.len(),
+        pop_code
+    );
+    for m in metas.iter().step_by((metas.len() / count).max(1)).take(count) {
+        println!(
+            "\n=== {} ({} {}, geoip err {:.0} km)",
+            m.prefix,
+            m.ty,
+            m.region.code(),
+            m.geoip_err_km
+        );
+        for (tag, path) in [
+            ("via VNS     ", w.vns.path_via_vns(&w.internet, pop, m.ip)),
+            ("local exit  ", w.vns.path_via_local_exit(&w.internet, pop, m.ip)),
+        ] {
+            match path {
+                Ok(p) => {
+                    println!("  {tag} ({:.0} km):", p.total_km());
+                    for h in &p.hops {
+                        let mean = w.factory.loss_model(h).mean_rate();
+                        println!(
+                            "    {:>7.0} km  loss {:>8.5}%  {}",
+                            h.km,
+                            mean * 100.0,
+                            h.label
+                        );
+                    }
+                }
+                Err(e) => println!("  {tag}: unroutable ({e})"),
+            }
+        }
+        if let Some(egress) = w.vns.egress_pop(&w.internet, PopId(10), m.ip) {
+            println!("  egress from London's view: {}", w.vns.pop(egress).code());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Shared measurement campaigns (probing matrices, media sessions, loss
+//! trains) reused across experiments.
+
+use vns_bgp::{Asn, Prefix};
+use vns_core::PopId;
+use vns_geo::{GeoPoint, Region};
+use vns_media::{run_echo_session, SessionConfig, SessionReport, VideoSpec};
+use vns_netsim::{Dur, PathChannel, SimTime};
+use vns_probe::{loss_train, rtt_probe_std, LossTrain};
+use vns_topo::{AsType, ResolvedPath};
+
+use crate::world::World;
+
+/// Everything an experiment needs to know about a probed prefix.
+#[derive(Debug, Clone)]
+pub struct PrefixMeta {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// The probed address ("the first IP address in each destination
+    /// prefix").
+    pub ip: u32,
+    /// Origin AS number.
+    pub origin_asn: Asn,
+    /// Origin AS type.
+    pub ty: AsType,
+    /// Region of the prefix's true location.
+    pub region: Region,
+    /// Ground-truth location.
+    pub truth: GeoPoint,
+    /// GeoIP-reported location (what the route reflector sees).
+    pub reported: Option<GeoPoint>,
+    /// GeoIP displacement, km.
+    pub geoip_err_km: f64,
+}
+
+/// External, last-mile prefixes with their metadata (VNS service prefixes
+/// excluded).
+pub fn prefix_metas(world: &World) -> Vec<PrefixMeta> {
+    world
+        .internet
+        .prefixes()
+        .filter(|p| p.last_mile)
+        .map(|p| {
+            let info = world.internet.as_info(p.origin);
+            PrefixMeta {
+                prefix: p.prefix,
+                ip: p.prefix.first_host(),
+                origin_asn: info.asn,
+                ty: info.ty,
+                region: vns_geo::city(p.city).region,
+                truth: p.location,
+                reported: world.internet.geoip.lookup(p.prefix).ok(),
+                geoip_err_km: world.internet.geoip.error_km(p.prefix).unwrap_or(f64::NAN),
+            }
+        })
+        .collect()
+}
+
+/// Builds a forward/return channel pair for a resolved path.
+pub fn channel_pair(world: &mut World, path: &ResolvedPath, label: &str) -> (PathChannel, PathChannel) {
+    let fwd = world.factory.channel(path, &format!("{label}:fwd"));
+    let rev = world.factory.channel(&path.reversed(), &format!("{label}:rev"));
+    (fwd, rev)
+}
+
+/// Minimum RTT (5-ping probe) from a PoP to `ip`, exiting immediately via
+/// the PoP's primary upstream. `None` when unroutable or all probes lost.
+pub fn rtt_via_upstream(world: &mut World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
+    let path = world.vns.path_via_upstream(&world.internet, pop, ip).ok()?;
+    let (mut fwd, mut rev) = channel_pair(world, &path, &format!("rttu:{}:{}", pop.0, ip));
+    rtt_probe_std(&mut fwd, &mut rev, t).min_rtt_ms
+}
+
+/// Minimum RTT (5-ping probe) from a PoP to `ip`, exiting immediately via
+/// the PoP's best local external route (the Sec 4.1/5.2 "forced out of VNS
+/// immediately at each PoP" semantics).
+pub fn rtt_via_local_exit(world: &mut World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
+    let path = world
+        .vns
+        .path_via_local_exit(&world.internet, pop, ip)
+        .ok()?;
+    let (mut fwd, mut rev) = channel_pair(world, &path, &format!("rttl:{}:{}", pop.0, ip));
+    rtt_probe_std(&mut fwd, &mut rev, t).min_rtt_ms
+}
+
+/// Minimum RTT (5-ping probe) from a PoP to `ip` through VNS routing.
+pub fn rtt_via_vns(world: &mut World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
+    let path = world.vns.path_via_vns(&world.internet, pop, ip).ok()?;
+    let (mut fwd, mut rev) = channel_pair(world, &path, &format!("rttv:{}:{}", pop.0, ip));
+    rtt_probe_std(&mut fwd, &mut rev, t).min_rtt_ms
+}
+
+/// RTT matrix `[prefix][pop]` via each PoP's upstream (the Sec 4.1
+/// methodology: probes forced out of VNS immediately at each PoP).
+pub fn rtt_matrix(
+    world: &mut World,
+    metas: &[PrefixMeta],
+    pops: &[PopId],
+    t: SimTime,
+) -> Vec<Vec<Option<f64>>> {
+    metas
+        .iter()
+        .map(|m| {
+            pops.iter()
+                .map(|&p| rtt_via_local_exit(world, p, m.ip, t))
+                .collect()
+        })
+        .collect()
+}
+
+/// One media measurement arm: a client PoP streaming to an echo server,
+/// either through VNS or through the client PoP's upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaArm {
+    /// Client location (co-located with a PoP, as the paper's were).
+    pub client: PopId,
+    /// Echo server PoP.
+    pub echo_pop: PopId,
+    /// The echo server's measurement region (EU/NA/AP).
+    pub region: Region,
+    /// Through VNS (`true`, the "I" curves) or through upstream transit
+    /// (`false`, the "T" curves).
+    pub via_vns: bool,
+}
+
+impl MediaArm {
+    /// Legend label matching the paper (`"I-AP"`, `"T-EU"`, …).
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}",
+            if self.via_vns { "I" } else { "T" },
+            self.region.code()
+        )
+    }
+}
+
+/// Runs a media campaign: every (client, echo, via) arm runs
+/// `sessions_per_arm` two-minute sessions, one every 30 minutes (the
+/// paper's cadence), starting at `start`.
+pub fn media_campaign(
+    world: &mut World,
+    clients: &[PopId],
+    spec: VideoSpec,
+    sessions_per_arm: usize,
+    start: SimTime,
+) -> Vec<(MediaArm, SessionReport)> {
+    let cfg = SessionConfig::default();
+    let echo: Vec<(PopId, Region, u32)> = world
+        .vns
+        .echo_servers()
+        .iter()
+        .map(|e| {
+            let region = world.vns.pop(e.pop).spec.region.measurement_region();
+            (e.pop, region, e.address())
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut rng = vns_netsim::RngTree::new(world.config.seed)
+        .subtree("media-campaign")
+        .stream(spec.name);
+    for &client in clients {
+        for &(echo_pop, region, addr) in &echo {
+            for via_vns in [true, false] {
+                let arm = MediaArm {
+                    client,
+                    echo_pop,
+                    region,
+                    via_vns,
+                };
+                let path = if via_vns {
+                    world.vns.path_via_vns(&world.internet, client, addr)
+                } else {
+                    world.vns.path_via_upstream(&world.internet, client, addr)
+                };
+                let Ok(path) = path else { continue };
+                let label = format!("media:{}:{}:{}:{}", spec.name, client.0, echo_pop.0, via_vns);
+                let (mut fwd, mut rev) = channel_pair(world, &path, &label);
+                for s in 0..sessions_per_arm {
+                    let t0 = start + Dur::from_mins(30).mul(s as u64);
+                    let sched = spec.schedule(t0, cfg.duration, &mut rng);
+                    let report = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
+                    out.push((arm, report));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A probed last-mile host.
+#[derive(Debug, Clone, Copy)]
+pub struct HostMeta {
+    /// Probed address.
+    pub ip: u32,
+    /// AS type of its network.
+    pub ty: AsType,
+    /// Its region (EU / NA / AP).
+    pub region: Region,
+}
+
+/// Selects up to `per_cell` hosts for every (AS type, region) cell over
+/// EU/NA/AP, maximising AS diversity (one host per AS first).
+pub fn select_hosts(world: &World, per_cell: usize) -> Vec<HostMeta> {
+    let metas = prefix_metas(world);
+    let mut out = Vec::new();
+    for region in [Region::Europe, Region::NorthAmerica, Region::AsiaPacific] {
+        for ty in AsType::ALL {
+            let mut seen_as = std::collections::BTreeSet::new();
+            let mut cell: Vec<HostMeta> = Vec::new();
+            // First pass: one prefix per AS.
+            for m in metas.iter().filter(|m| m.ty == ty && m.region == region) {
+                if cell.len() >= per_cell {
+                    break;
+                }
+                if seen_as.insert(m.origin_asn) {
+                    cell.push(HostMeta {
+                        ip: m.ip,
+                        ty,
+                        region,
+                    });
+                }
+            }
+            // Second pass: fill up with further prefixes.
+            for m in metas.iter().filter(|m| m.ty == ty && m.region == region) {
+                if cell.len() >= per_cell {
+                    break;
+                }
+                if !cell.iter().any(|h| h.ip == m.ip) {
+                    cell.push(HostMeta {
+                        ip: m.ip,
+                        ty,
+                        region,
+                    });
+                }
+            }
+            out.extend(cell);
+        }
+    }
+    out
+}
+
+/// One loss-train result within a campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainRecord {
+    /// Vantage PoP.
+    pub pop: PopId,
+    /// Index into the host list.
+    pub host: usize,
+    /// The train.
+    pub train: LossTrain,
+}
+
+/// Runs the Sec 5.2 campaign: every host probed from every PoP with a
+/// 100-packet back-to-back train every `interval` for `span`.
+pub fn lastmile_campaign(
+    world: &mut World,
+    pops: &[PopId],
+    hosts: &[HostMeta],
+    interval: Dur,
+    span: Dur,
+) -> Vec<TrainRecord> {
+    let rounds = vns_probe::rounds(SimTime::EPOCH, interval, span);
+    let mut out = Vec::with_capacity(pops.len() * hosts.len() * rounds.len());
+    for &pop in pops {
+        for (hi, host) in hosts.iter().enumerate() {
+            let Ok(path) = world.vns.path_via_local_exit(&world.internet, pop, host.ip) else {
+                continue;
+            };
+            let label = format!("lm:{}:{}", pop.0, host.ip);
+            let (mut fwd, mut rev) = channel_pair(world, &path, &label);
+            for &at in &rounds {
+                let train = loss_train(&mut fwd, &mut rev, at, 100);
+                out.push(TrainRecord {
+                    pop,
+                    host: hi,
+                    train,
+                });
+            }
+        }
+    }
+    out
+}

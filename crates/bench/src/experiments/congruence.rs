@@ -1,0 +1,93 @@
+//! Sec 4.1 — are prefixes of the same AS "congruently located"?
+//!
+//! The paper probes one address per prefix and asks whether prefixes of
+//! the same AS are delay-closest to the same PoP: "at least 25 % of
+//! prefixes match in 99 % of all measured ASes … at least 90 % of
+//! prefixes match in 60 % of measured ASes."
+
+use std::collections::BTreeMap;
+
+use vns_bgp::Asn;
+use vns_core::PopId;
+use vns_netsim::{Dur, SimTime};
+
+use crate::campaign::{prefix_metas, rtt_matrix};
+use crate::world::World;
+
+/// The congruence statistics.
+#[derive(Debug)]
+pub struct Congruence {
+    /// ASes with at least two measured prefixes.
+    pub ases_measured: usize,
+    /// Fraction of those ASes where ≥ 25 % of prefixes share the modal
+    /// closest PoP (paper: 0.99).
+    pub frac_ases_quarter_match: f64,
+    /// Fraction where ≥ 90 % share it (paper: 0.60).
+    pub frac_ases_ninety_match: f64,
+}
+
+/// Runs the analysis.
+pub fn run(world: &mut World) -> Congruence {
+    let metas = prefix_metas(world);
+    let pops: Vec<PopId> = world.vns.pops().iter().map(|p| p.id()).collect();
+    let t = SimTime::EPOCH + Dur::from_hours(10);
+    let matrix = rtt_matrix(world, &metas, &pops, t);
+
+    // Closest PoP (by measured RTT) per prefix, grouped by AS.
+    let mut by_as: BTreeMap<Asn, Vec<usize>> = BTreeMap::new();
+    for (mi, m) in metas.iter().enumerate() {
+        let closest = matrix[mi]
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, r)| r.map(|rtt| (pi, rtt)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        if let Some((pi, _)) = closest {
+            by_as.entry(m.origin_asn).or_default().push(pi);
+        }
+    }
+
+    let mut measured = 0;
+    let mut quarter = 0;
+    let mut ninety = 0;
+    for pois in by_as.values() {
+        if pois.len() < 2 {
+            continue;
+        }
+        measured += 1;
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for &p in pois {
+            *counts.entry(p).or_default() += 1;
+        }
+        let modal = *counts.values().max().expect("non-empty");
+        let frac = modal as f64 / pois.len() as f64;
+        if frac >= 0.25 {
+            quarter += 1;
+        }
+        if frac >= 0.9 {
+            ninety += 1;
+        }
+    }
+
+    Congruence {
+        ases_measured: measured,
+        frac_ases_quarter_match: quarter as f64 / measured.max(1) as f64,
+        frac_ases_ninety_match: ninety as f64 / measured.max(1) as f64,
+    }
+}
+
+impl std::fmt::Display for Congruence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "## Sec 4.1 — same-AS prefix congruence")?;
+        writeln!(f, "ASes with ≥2 measured prefixes: {}", self.ases_measured)?;
+        writeln!(
+            f,
+            "ASes with ≥25% of prefixes closest to the same PoP: {} (paper: 99%)",
+            vns_stats::pct(self.frac_ases_quarter_match)
+        )?;
+        writeln!(
+            f,
+            "ASes with ≥90% of prefixes closest to the same PoP: {} (paper: 60%)",
+            vns_stats::pct(self.frac_ases_ninety_match)
+        )
+    }
+}

@@ -1,0 +1,129 @@
+//! Fig 10 — the nature of loss: magnitude vs temporal spread.
+//!
+//! Each 2-minute session is split into 24 five-second slots; the paper
+//! plots per-session loss percentage against the number of lossy slots.
+//! Through upstreams: a linear "random baseline" plus bursty outliers in
+//! the upper-left (short convergence blackouts) and upper-right
+//! (sustained congestion). Through VNS: both the baseline and the
+//! outliers disappear.
+
+use vns_core::PopId;
+use vns_media::SessionReport;
+use vns_stats::{Figure, Series};
+
+use crate::campaign::MediaArm;
+
+/// Classification counts for one arm kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LossNature {
+    /// Sessions with zero loss.
+    pub clean: usize,
+    /// Sessions with loss ≥ 1 % concentrated in ≤ 8 slots (bursty,
+    /// upper-left).
+    pub bursty_outliers: usize,
+    /// Sessions with loss ≥ 1 % spread over ≥ 16 slots (sustained
+    /// congestion, upper-right).
+    pub sustained_outliers: usize,
+    /// All other lossy sessions (the random baseline).
+    pub baseline: usize,
+}
+
+impl LossNature {
+    /// Total sessions.
+    pub fn total(&self) -> usize {
+        self.clean + self.bursty_outliers + self.sustained_outliers + self.baseline
+    }
+}
+
+/// The figure plus classification.
+#[derive(Debug)]
+pub struct Fig10 {
+    /// Scatter through upstreams (x = lossy slots, y = loss %).
+    pub upstream: Figure,
+    /// Scatter through VNS.
+    pub vns: Figure,
+    /// Classification through upstreams.
+    pub upstream_nature: LossNature,
+    /// Classification through VNS.
+    pub vns_nature: LossNature,
+}
+
+fn classify(reports: &[&SessionReport]) -> LossNature {
+    let mut n = LossNature::default();
+    for r in reports {
+        let loss = r.rt_loss_pct();
+        let slots = r.lossy_slots();
+        if loss == 0.0 {
+            n.clean += 1;
+        } else if loss >= 1.0 && slots <= 8 {
+            n.bursty_outliers += 1;
+        } else if loss >= 1.0 && slots >= 16 {
+            n.sustained_outliers += 1;
+        } else {
+            n.baseline += 1;
+        }
+    }
+    n
+}
+
+/// Builds the Fig 10 view from the Fig 9 session set (Amsterdam client,
+/// all six echo servers — the paper's presented perspective).
+pub fn run(sessions: &[(MediaArm, SessionReport)]) -> Fig10 {
+    let ams = PopId(9);
+    let scatter = |via: bool, name: &str| {
+        let pts: Vec<(f64, f64)> = sessions
+            .iter()
+            .filter(|(a, _)| a.client == ams && a.via_vns == via)
+            .map(|(_, r)| (r.lossy_slots() as f64, r.rt_loss_pct().max(1e-3)))
+            .collect();
+        let mut fig = Figure::new(
+            format!("Fig 10 ({name})"),
+            format!("Loss percentage vs number of lossy 5 s slots, Amsterdam {name}"),
+            "# of lossy slots",
+            "Loss percentage",
+        );
+        fig.push(Series::new("Sessions", pts));
+        fig
+    };
+    let upstream = scatter(false, "through upstreams");
+    let vns = scatter(true, "through VNS");
+    let ups: Vec<&SessionReport> = sessions
+        .iter()
+        .filter(|(a, _)| a.client == ams && !a.via_vns)
+        .map(|(_, r)| r)
+        .collect();
+    let ivns: Vec<&SessionReport> = sessions
+        .iter()
+        .filter(|(a, _)| a.client == ams && a.via_vns)
+        .map(|(_, r)| r)
+        .collect();
+    Fig10 {
+        upstream,
+        vns,
+        upstream_nature: classify(&ups),
+        vns_nature: classify(&ivns),
+    }
+}
+
+impl std::fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.upstream)?;
+        writeln!(f, "{}", self.vns)?;
+        let p = &self.upstream_nature;
+        let v = &self.vns_nature;
+        writeln!(
+            f,
+            "upstream sessions: {} clean, {} baseline, {} bursty outliers, {} sustained outliers",
+            p.clean, p.baseline, p.bursty_outliers, p.sustained_outliers
+        )?;
+        writeln!(
+            f,
+            "VNS sessions:      {} clean, {} baseline, {} bursty outliers, {} sustained outliers",
+            v.clean, v.baseline, v.bursty_outliers, v.sustained_outliers
+        )?;
+        writeln!(
+            f,
+            "(paper: VNS eliminates both the multi-slot baseline and the bursty outliers)"
+        )
+    }
+}

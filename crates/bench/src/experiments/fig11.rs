@@ -1,0 +1,141 @@
+//! Fig 11 — loss and geography in the last mile.
+//!
+//! Method (Sec 5.2.1): 600 hosts (50 per AS type per region over EU/NA/AP),
+//! probed from 10 PoPs with 100-packet back-to-back trains every 10
+//! minutes for three weeks; probes leave VNS immediately. The figure shows
+//! the average loss per (vantage PoP, destination region). Key shapes:
+//! distance raises loss; EU→AP is 1.6–3.3× AP→AP; AP→EU is 2.1–14.2×
+//! EU→EU; SJS→AP ≈ AP→AP (west-coast peering); London→EU is ~2× other EU
+//! PoPs (the US-upstream detour).
+
+use std::collections::BTreeMap;
+
+use vns_core::PopId;
+use vns_geo::Region;
+use vns_netsim::Dur;
+use vns_stats::Table;
+
+use crate::campaign::{lastmile_campaign, select_hosts, HostMeta, TrainRecord};
+use crate::world::World;
+
+/// The 10 probing PoPs of Sec 5.2 (all but Seattle), by code.
+pub const VANTAGES: [(&str, u8); 10] = [
+    ("ATL", 3),
+    ("ASH", 5),
+    ("SJS", 1),
+    ("AMS", 9),
+    ("FRA", 6),
+    ("LON", 10),
+    ("OSL", 4),
+    ("HKG", 8),
+    ("SIN", 7),
+    ("SYD", 11),
+];
+
+/// The campaign data shared with Fig 12 and Table 1.
+#[derive(Debug)]
+pub struct LastMileData {
+    /// Probed hosts.
+    pub hosts: Vec<HostMeta>,
+    /// All train results.
+    pub records: Vec<TrainRecord>,
+}
+
+/// Runs the shared campaign: `per_cell` hosts per (type, region), trains
+/// every `interval` over `span`.
+pub fn run_campaign(world: &mut World, per_cell: usize, interval: Dur, span: Dur) -> LastMileData {
+    let hosts = select_hosts(world, per_cell);
+    let pops: Vec<PopId> = VANTAGES.iter().map(|(_, id)| PopId(*id)).collect();
+    let records = lastmile_campaign(world, &pops, &hosts, interval, span);
+    LastMileData { hosts, records }
+}
+
+/// Fig 11 proper: average loss percentage per (PoP, destination region).
+#[derive(Debug)]
+pub struct Fig11 {
+    /// `avg[(pop code, region code)]` in percent.
+    pub avg: BTreeMap<(String, String), f64>,
+    /// The printable table (rows = PoPs, cols = dest regions).
+    pub table: Table,
+}
+
+/// Reduces the campaign into the figure.
+pub fn run(data: &LastMileData) -> Fig11 {
+    let mut sums: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+    for rec in &data.records {
+        let host = &data.hosts[rec.host];
+        let code = VANTAGES
+            .iter()
+            .find(|(_, id)| PopId(*id) == rec.pop)
+            .map(|(c, _)| *c)
+            .unwrap_or("?");
+        let key = (code.to_string(), host.region.code().to_string());
+        let e = sums.entry(key).or_default();
+        e.0 += u64::from(rec.train.lost);
+        e.1 += u64::from(rec.train.sent);
+    }
+    let avg: BTreeMap<(String, String), f64> = sums
+        .into_iter()
+        .map(|(k, (lost, sent))| (k, 100.0 * lost as f64 / sent.max(1) as f64))
+        .collect();
+
+    let mut table = Table::new(["PoP", "->AP", "->EU", "->NA"]);
+    for (code, _) in VANTAGES {
+        let get = |r: Region| {
+            avg.get(&(code.to_string(), r.code().to_string()))
+                .map(|v| format!("{v:.2}%"))
+                .unwrap_or_default()
+        };
+        table.push([
+            code.to_string(),
+            get(Region::AsiaPacific),
+            get(Region::Europe),
+            get(Region::NorthAmerica),
+        ]);
+    }
+    Fig11 { avg, table }
+}
+
+impl Fig11 {
+    /// Average loss (percent) from a PoP code to a region.
+    pub fn loss(&self, pop: &str, region: Region) -> Option<f64> {
+        self.avg
+            .get(&(pop.to_string(), region.code().to_string()))
+            .copied()
+    }
+
+    /// Mean over several PoPs.
+    pub fn mean_loss(&self, pops: &[&str], region: Region) -> f64 {
+        let v: Vec<f64> = pops.iter().filter_map(|p| self.loss(p, region)).collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    }
+}
+
+impl std::fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "## Fig 11 — average last-mile loss by PoP and destination region")?;
+        writeln!(f, "{}", self.table)?;
+        let eu_pops = ["AMS", "FRA", "OSL"];
+        let ap_pops = ["HKG", "SIN", "SYD"];
+        let eu_to_ap = self.mean_loss(&eu_pops, Region::AsiaPacific);
+        let ap_to_ap = self.mean_loss(&ap_pops, Region::AsiaPacific);
+        let ap_to_eu = self.mean_loss(&ap_pops, Region::Europe);
+        let eu_to_eu = self.mean_loss(&eu_pops, Region::Europe);
+        writeln!(
+            f,
+            "EU->AP / AP->AP = {:.2} (paper: 1.6–3.3)",
+            eu_to_ap / ap_to_ap.max(1e-9)
+        )?;
+        writeln!(
+            f,
+            "AP->EU / EU->EU = {:.2} (paper: 2.1–14.2, London excluded)",
+            ap_to_eu / eu_to_eu.max(1e-9)
+        )?;
+        let lon = self.loss("LON", Region::Europe).unwrap_or(0.0);
+        writeln!(
+            f,
+            "LON->EU = {:.2}% vs other-EU->EU = {:.2}% (paper: London ≈ 2×, the US-upstream detour)",
+            lon, eu_to_eu
+        )
+    }
+}

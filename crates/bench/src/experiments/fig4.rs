@@ -1,0 +1,108 @@
+//! Fig 4 — how egresses are used, before vs after geo-based routing.
+//!
+//! From the perspective of PoP 10 (London): the percentage of routes that
+//! exit at each PoP. Before: hot-potato, ~70 % exit locally. After: the
+//! distribution spreads (PoPs 3 and 5 on the US east coast, 7 in AP and 9
+//! in EU pick up large shares).
+
+use vns_core::PopId;
+use vns_stats::{Figure, Series};
+
+use crate::campaign::prefix_metas;
+use crate::world::World;
+
+/// The egress-share distributions.
+#[derive(Debug)]
+pub struct Fig4 {
+    /// Viewpoint PoP.
+    pub viewpoint: PopId,
+    /// `share[pop_id-1]` as a percentage, before (hot potato).
+    pub before: Vec<f64>,
+    /// Same, after (geo cold potato).
+    pub after: Vec<f64>,
+    /// The printable figure.
+    pub figure: Figure,
+}
+
+/// Computes the egress share per PoP from `viewpoint`'s perspective.
+pub fn egress_shares(world: &World, viewpoint: PopId) -> Vec<f64> {
+    let n = world.vns.pops().len();
+    let mut counts = vec![0usize; n];
+    let mut total = 0usize;
+    for m in prefix_metas(world) {
+        if let Some(egress) = world.vns.egress_pop(&world.internet, viewpoint, m.ip) {
+            counts[(egress.0 - 1) as usize] += 1;
+            total += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|c| 100.0 * c as f64 / total.max(1) as f64)
+        .collect()
+}
+
+/// Runs the before/after comparison. The two worlds must be built from the
+/// same seed (identical Internet, different VNS mode).
+pub fn run(before_world: &World, after_world: &World) -> Fig4 {
+    let viewpoint = PopId(10);
+    let before = egress_shares(before_world, viewpoint);
+    let after = egress_shares(after_world, viewpoint);
+    let mut figure = Figure::new(
+        "Fig 4",
+        "Percentage of routes exiting at each PoP, from PoP 10 (London)",
+        "PoP ID",
+        "percentage of routes",
+    );
+    figure.push(Series::new(
+        "Before",
+        before
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i + 1) as f64, v))
+            .collect(),
+    ));
+    figure.push(Series::new(
+        "After",
+        after
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i + 1) as f64, v))
+            .collect(),
+    ));
+    Fig4 {
+        viewpoint,
+        before,
+        after,
+        figure,
+    }
+}
+
+impl Fig4 {
+    /// Share exiting locally at the viewpoint (index by PoP id).
+    pub fn local_share_before(&self) -> f64 {
+        self.before[(self.viewpoint.0 - 1) as usize]
+    }
+
+    /// Share exiting locally after geo-routing.
+    pub fn local_share_after(&self) -> f64 {
+        self.after[(self.viewpoint.0 - 1) as usize]
+    }
+
+    /// A simple evenness measure: the max share across PoPs (lower =
+    /// more even).
+    pub fn max_share_after(&self) -> f64 {
+        self.after.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.figure)?;
+        writeln!(
+            f,
+            "local exit at PoP 10: before {:.1}% (paper ~70%), after {:.1}%",
+            self.local_share_before(),
+            self.local_share_after()
+        )
+    }
+}

@@ -1,0 +1,139 @@
+//! Fig 5 — transit vs peer routes, before vs after geo-based routing.
+//!
+//! Outer plot: the percentage of routes exiting through each of the
+//! top-20 neighbours (the first seven are upstreams, the rest peers).
+//! Inner plot: the fraction of prefixes reached through upstreams, which
+//! the paper finds stable at ~80 % across the change. After the change,
+//! upstream 1 (strong North-American presence) gains share.
+
+use std::collections::BTreeMap;
+
+use vns_bgp::Asn;
+use vns_stats::{Figure, Series};
+
+use crate::campaign::prefix_metas;
+use crate::world::World;
+
+/// Result of the neighbour-share analysis.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// `(asn, is_upstream, before %, after %)` for the top neighbours,
+    /// upstreams first (paper order).
+    pub neighbors: Vec<(Asn, bool, f64, f64)>,
+    /// Fraction of prefixes exiting through an upstream, before.
+    pub transit_share_before: f64,
+    /// Same, after.
+    pub transit_share_after: f64,
+    /// Share of upstream 1 before/after (the paper sees it grow).
+    pub upstream1: (f64, f64),
+    /// The printable figure.
+    pub figure: Figure,
+}
+
+/// Counts selected exit neighbours over every (PoP, prefix) pair — the
+/// AS-wide view of which neighbours carry routes.
+fn neighbor_counts(world: &World) -> (BTreeMap<Asn, usize>, usize) {
+    let mut counts = BTreeMap::new();
+    let mut total = 0usize;
+    let metas = prefix_metas(world);
+    for pop in world.vns.pops() {
+        for m in &metas {
+            if let Some(asn) = world.vns.exit_neighbor(&world.internet, pop.id(), m.ip) {
+                *counts.entry(asn).or_default() += 1;
+                total += 1;
+            }
+        }
+    }
+    (counts, total)
+}
+
+/// Runs the before/after comparison (AS-wide).
+pub fn run(before_world: &World, after_world: &World) -> Fig5 {
+    let (cb, tb) = neighbor_counts(before_world);
+    let (ca, ta) = neighbor_counts(after_world);
+    let upstream_asns: Vec<Asn> = after_world
+        .vns
+        .upstreams()
+        .iter()
+        .map(|&id| after_world.internet.as_info(id).asn)
+        .collect();
+
+    let pct = |c: &BTreeMap<Asn, usize>, t: usize, asn: Asn| {
+        100.0 * c.get(&asn).copied().unwrap_or(0) as f64 / t.max(1) as f64
+    };
+
+    // Order: the seven upstreams first (paper's layout), then peers by
+    // combined share.
+    let mut rows: Vec<(Asn, bool, f64, f64)> = upstream_asns
+        .iter()
+        .map(|&asn| (asn, true, pct(&cb, tb, asn), pct(&ca, ta, asn)))
+        .collect();
+    let mut peer_rows: Vec<(Asn, bool, f64, f64)> = ca
+        .keys()
+        .chain(cb.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .filter(|asn| !upstream_asns.contains(asn))
+        .map(|&asn| (asn, false, pct(&cb, tb, asn), pct(&ca, ta, asn)))
+        .collect();
+    peer_rows.sort_by(|a, b| (b.2 + b.3).partial_cmp(&(a.2 + a.3)).expect("finite"));
+    rows.extend(peer_rows.into_iter().take(13));
+
+    let transit_share = |c: &BTreeMap<Asn, usize>, t: usize| {
+        let up: usize = upstream_asns
+            .iter()
+            .map(|asn| c.get(asn).copied().unwrap_or(0))
+            .sum();
+        up as f64 / t.max(1) as f64
+    };
+
+    let mut figure = Figure::new(
+        "Fig 5",
+        "Percentage of routes per top-20 neighbour (1–7 upstreams, 8–20 peers), PoP 10 view",
+        "Neighbor ID",
+        "percentage of routes",
+    );
+    figure.push(Series::new(
+        "Before",
+        rows.iter()
+            .enumerate()
+            .map(|(i, r)| ((i + 1) as f64, r.2))
+            .collect(),
+    ));
+    figure.push(Series::new(
+        "After",
+        rows.iter()
+            .enumerate()
+            .map(|(i, r)| ((i + 1) as f64, r.3))
+            .collect(),
+    ));
+
+    let upstream1 = rows
+        .first()
+        .map(|r| (r.2, r.3))
+        .unwrap_or((0.0, 0.0));
+    Fig5 {
+        neighbors: rows,
+        transit_share_before: transit_share(&cb, tb),
+        transit_share_after: transit_share(&ca, ta),
+        upstream1,
+        figure,
+    }
+}
+
+impl std::fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.figure)?;
+        writeln!(
+            f,
+            "transit (upstream) share: before {} → after {} (paper: stable ~80%)",
+            vns_stats::pct(self.transit_share_before),
+            vns_stats::pct(self.transit_share_after)
+        )?;
+        writeln!(
+            f,
+            "upstream 1 share: before {:.1}% → after {:.1}% (paper: grows)",
+            self.upstream1.0, self.upstream1.1
+        )
+    }
+}

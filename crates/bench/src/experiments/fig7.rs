@@ -1,0 +1,100 @@
+//! Fig 7 — incoming traffic: where anycast service requests land.
+//!
+//! Method (Sec 4.4): authentication requests to the anycast TURN address,
+//! classified by the seven source world regions and the four PoP regions
+//! that received them. "The incoming traffic follows geography to a large
+//! extent."
+
+use vns_geo::{PopRegion, Region};
+use vns_stats::Table;
+
+use crate::campaign::prefix_metas;
+use crate::world::World;
+
+/// The landing matrix.
+#[derive(Debug)]
+pub struct Fig7 {
+    /// `matrix[source region][pop region]` as request fractions per source
+    /// region (rows sum to 1).
+    pub matrix: Vec<Vec<f64>>,
+    /// Requests per source region.
+    pub requests: Vec<usize>,
+    /// The printable table.
+    pub table: Table,
+}
+
+/// Runs the experiment: one request per external prefix (a scaled stand-in
+/// for the paper's 60k auth requests).
+pub fn run(world: &World) -> Fig7 {
+    let metas = prefix_metas(world);
+    let mut matrix = vec![vec![0usize; PopRegion::ALL.len()]; Region::ALL.len()];
+    let mut requests = vec![0usize; Region::ALL.len()];
+    for m in &metas {
+        let Ok((pop, _)) = world.vns.anycast_landing(&world.internet, m.ip) else {
+            continue;
+        };
+        let src = Region::ALL.iter().position(|r| *r == m.region).expect("region");
+        let dst = PopRegion::ALL
+            .iter()
+            .position(|r| *r == world.vns.pop(pop).spec.region)
+            .expect("pop region");
+        matrix[src][dst] += 1;
+        requests[src] += 1;
+    }
+    let frac: Vec<Vec<f64>> = matrix
+        .iter()
+        .zip(&requests)
+        .map(|(row, &n)| row.iter().map(|&c| c as f64 / n.max(1) as f64).collect())
+        .collect();
+
+    let mut table = Table::new(
+        std::iter::once("Source \\ PoP".to_string())
+            .chain(PopRegion::ALL.iter().map(|r| r.code().to_string()))
+            .chain(std::iter::once("requests".to_string())),
+    );
+    for (si, region) in Region::ALL.iter().enumerate() {
+        let mut row = vec![region.code().to_string()];
+        row.extend(frac[si].iter().map(|f| vns_stats::pct(*f)));
+        row.push(requests[si].to_string());
+        table.push(row);
+    }
+    Fig7 {
+        matrix: frac,
+        requests,
+        table,
+    }
+}
+
+impl Fig7 {
+    /// Fraction of a source region's requests landing in its home PoP
+    /// region.
+    pub fn home_fraction(&self, region: Region) -> f64 {
+        let si = Region::ALL.iter().position(|r| *r == region).expect("region");
+        let home = region.home_pop_region();
+        let di = PopRegion::ALL.iter().position(|r| *r == home).expect("pop region");
+        self.matrix[si][di]
+    }
+
+    /// Request-weighted average home fraction.
+    pub fn overall_home_fraction(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (si, region) in Region::ALL.iter().enumerate() {
+            num += self.home_fraction(*region) * self.requests[si] as f64;
+            den += self.requests[si] as f64;
+        }
+        num / den.max(1.0)
+    }
+}
+
+impl std::fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "## Fig 7 — anycast request landing matrix")?;
+        writeln!(f, "{}", self.table)?;
+        writeln!(
+            f,
+            "requests landing in their home PoP region: {} (paper: 'follows geography to a large extent')",
+            vns_stats::pct(self.overall_home_fraction())
+        )
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig 9 — video loss: internal network vs transit.
+//!
+//! Method (Sec 5.1): clients at PoPs stream 2-minute HD recordings to echo
+//! servers in EU, NA and AP, simultaneously through VNS ("I") and through
+//! upstream transit ("T"); CCDF of per-stream loss percentage. The paper's
+//! reference lines: users complain above 0.15 % loss; telepresence wants
+//! ≤ 0.1 %. Headline numbers: streams with > 0.15 % loss to AP through
+//! transit: ~10 % (AMS), ~5 % (SJS), ~43 % (SYD); through VNS: ~0.7 %,
+//! ~0.8 %, 0 %.
+
+use std::collections::BTreeMap;
+
+use vns_core::PopId;
+use vns_geo::Region;
+use vns_media::{SessionReport, VideoSpec};
+use vns_netsim::{Dur, SimTime};
+use vns_stats::{Ccdf, Figure, Series};
+
+use crate::campaign::{media_campaign, MediaArm};
+use crate::world::World;
+
+/// The paper's three plotted clients.
+pub const CLIENTS: [(&str, u8); 3] = [("AMS", 9), ("SJS", 1), ("SYD", 11)];
+
+/// Per-(client, region, via) loss distribution plus raw sessions.
+#[derive(Debug)]
+pub struct Fig9 {
+    /// One figure per client (a, b, c panels).
+    pub figures: Vec<Figure>,
+    /// Raw session outcomes for reuse by Fig 10 / jitter.
+    pub sessions: Vec<(MediaArm, SessionReport)>,
+    /// `((client code, region code, via_vns), fraction of streams with
+    /// loss > 0.15 %)`.
+    pub over_150m: BTreeMap<(String, String, bool), f64>,
+}
+
+/// Runs the campaign with `sessions_per_arm` two-minute 1080p sessions per
+/// (client, echo, via) arm.
+pub fn run(world: &mut World, sessions_per_arm: usize) -> Fig9 {
+    let clients: Vec<PopId> = CLIENTS.iter().map(|(_, id)| PopId(*id)).collect();
+    let start = SimTime::EPOCH + Dur::from_hours(6);
+    let sessions = media_campaign(world, &clients, VideoSpec::HD1080, sessions_per_arm, start);
+
+    let mut figures = Vec::new();
+    let mut over_150m = BTreeMap::new();
+    for (code, id) in CLIENTS {
+        let mut fig = Figure::new(
+            format!("Fig 9 ({code})"),
+            format!("CCDF of stream loss percentage from {code} (T = transit, I = VNS)"),
+            "Loss percentage",
+            "CCDF",
+        );
+        for region in [Region::AsiaPacific, Region::Europe, Region::NorthAmerica] {
+            for via_vns in [false, true] {
+                let losses: Vec<f64> = sessions
+                    .iter()
+                    .filter(|(arm, _)| {
+                        arm.client == PopId(id) && arm.region == region && arm.via_vns == via_vns
+                    })
+                    .map(|(_, r)| r.rt_loss_pct())
+                    .collect();
+                if losses.is_empty() {
+                    continue;
+                }
+                let n = losses.len() as f64;
+                let over = losses.iter().filter(|&&l| l > 0.15).count() as f64 / n;
+                over_150m.insert((code.to_string(), region.code().to_string(), via_vns), over);
+                let ccdf = Ccdf::new(losses);
+                let label = format!("{}-{}", if via_vns { "I" } else { "T" }, region.code());
+                fig.push(Series::new(label, ccdf.sample_log(0.001, 10.0, 25)));
+            }
+        }
+        figures.push(fig);
+    }
+    Fig9 {
+        figures,
+        sessions,
+        over_150m,
+    }
+}
+
+impl Fig9 {
+    /// Fraction of streams above 0.15 % loss for a (client, region, via)
+    /// triple.
+    pub fn frac_over_150m(&self, client: &str, region: &str, via_vns: bool) -> f64 {
+        self.over_150m
+            .get(&(client.to_string(), region.to_string(), via_vns))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Mean stream loss over all sessions of one arm kind.
+    pub fn mean_loss(&self, via_vns: bool) -> f64 {
+        let l: Vec<f64> = self
+            .sessions
+            .iter()
+            .filter(|(a, _)| a.via_vns == via_vns)
+            .map(|(_, r)| r.rt_loss_pct())
+            .collect();
+        l.iter().sum::<f64>() / l.len().max(1) as f64
+    }
+}
+
+impl std::fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for fig in &self.figures {
+            writeln!(f, "{fig}")?;
+        }
+        writeln!(f, "streams with loss > 0.15%:")?;
+        for ((client, region, via), frac) in &self.over_150m {
+            writeln!(
+                f,
+                "  {client} -> {region} via {}: {}",
+                if *via { "VNS" } else { "transit" },
+                vns_stats::pct(*frac)
+            )?;
+        }
+        writeln!(
+            f,
+            "mean stream loss: transit {:.3}%, VNS {:.4}% (paper: VNS consistently lower)",
+            self.mean_loss(false),
+            self.mean_loss(true)
+        )
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per paper artefact (see the crate docs for the index).
+
+pub mod ablate;
+pub mod congruence;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod jitter;
+pub mod table1;

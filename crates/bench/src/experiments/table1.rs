@@ -1,0 +1,86 @@
+//! Table 1 — average loss from Amsterdam to ASes of different types in
+//! different regions.
+//!
+//! Paper values (percent):
+//!
+//! | Region | LTP | STP | CAHP | EC |
+//! |---|---|---|---|---|
+//! | AP | 0.45 | 1.30 | 2.80 | 1.92 |
+//! | EU | 0.11 | 0.62 | 1.58 | 0.52 |
+//! | NA | 0.57 | 0.49 | 0.46 | 0.55 |
+//!
+//! Shape requirements: AP ranks CAHP > EC > STP > LTP; EU likewise with
+//! EC slightly above STP-or-so; NA is flat ("the difference between AS
+//! types is more blurred" because NA LTPs also sell residential access).
+
+use std::collections::BTreeMap;
+
+use vns_core::PopId;
+use vns_geo::Region;
+use vns_stats::Table;
+use vns_topo::AsType;
+
+use crate::experiments::fig11::LastMileData;
+
+/// The reproduced table.
+#[derive(Debug)]
+pub struct Table1 {
+    /// `avg[(region, type)]` in percent, Amsterdam vantage.
+    pub avg: BTreeMap<(Region, AsType), f64>,
+    /// Printable table.
+    pub table: Table,
+}
+
+/// Paper's reference values for side-by-side printing.
+pub const PAPER: [(Region, [f64; 4]); 3] = [
+    (Region::AsiaPacific, [0.45, 1.30, 2.80, 1.92]),
+    (Region::Europe, [0.11, 0.62, 1.58, 0.52]),
+    (Region::NorthAmerica, [0.57, 0.49, 0.46, 0.55]),
+];
+
+/// Reduces the shared campaign from the Amsterdam vantage.
+pub fn run(data: &LastMileData) -> Table1 {
+    let ams = PopId(9);
+    let mut sums: BTreeMap<(Region, AsType), (u64, u64)> = BTreeMap::new();
+    for rec in &data.records {
+        if rec.pop != ams {
+            continue;
+        }
+        let host = &data.hosts[rec.host];
+        let e = sums.entry((host.region, host.ty)).or_default();
+        e.0 += u64::from(rec.train.lost);
+        e.1 += u64::from(rec.train.sent);
+    }
+    let avg: BTreeMap<(Region, AsType), f64> = sums
+        .into_iter()
+        .map(|(k, (l, s))| (k, 100.0 * l as f64 / s.max(1) as f64))
+        .collect();
+
+    let mut table = Table::new(["Region", "LTP", "STP", "CAHP", "EC"]);
+    for (region, paper) in PAPER {
+        let mut row = vec![region.code().to_string()];
+        for (i, ty) in AsType::ALL.iter().enumerate() {
+            let got = avg.get(&(region, *ty)).copied().unwrap_or(f64::NAN);
+            row.push(format!("{got:.2}% (paper {:.2}%)", paper[i]));
+        }
+        table.push(row);
+    }
+    Table1 { avg, table }
+}
+
+impl Table1 {
+    /// Measured value (percent).
+    pub fn loss(&self, region: Region, ty: AsType) -> f64 {
+        self.avg.get(&(region, ty)).copied().unwrap_or(f64::NAN)
+    }
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "## Table 1 — average loss from Amsterdam by AS type and region"
+        )?;
+        writeln!(f, "{}", self.table)
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared world construction for all experiments.
+
+use vns_core::{build_vns, RoutingMode, Vns, VnsConfig};
+use vns_netsim::RngTree;
+use vns_topo::{generate, CalibrationConfig, ChannelFactory, Internet, TopoConfig};
+
+/// Knobs shared by every experiment run.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Multiplier on the generated Internet's AS counts (1.0 ≈ 180 ASes /
+    /// ~520 prefixes; the paper's table is ~3 orders of magnitude bigger).
+    pub scale: f64,
+    /// VNS deployment configuration.
+    pub vns: VnsConfig,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 77,
+            scale: 1.0,
+            vns: VnsConfig::default(),
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small/fast configuration for unit-style checks.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            scale: 0.45,
+            ..Self::default()
+        }
+    }
+
+    /// The topology config this world generates with.
+    pub fn topo(&self) -> TopoConfig {
+        let s = self.scale.max(0.05);
+        let scaled = |n: usize| ((n as f64 * s).round() as usize).max(1);
+        TopoConfig {
+            seed: self.seed,
+            ltps: scaled(8).max(3),
+            stps_per_region: scaled(6),
+            cahps_per_region: scaled(14),
+            ecs_per_region: scaled(12),
+            ..TopoConfig::default()
+        }
+    }
+}
+
+/// A generated Internet with a VNS deployment and a channel factory.
+#[derive(Debug)]
+pub struct World {
+    /// The combined control/data plane.
+    pub internet: Internet,
+    /// The overlay.
+    pub vns: Vns,
+    /// Channel factory for data-plane campaigns.
+    pub factory: ChannelFactory,
+    /// The configuration used.
+    pub config: WorldConfig,
+}
+
+impl World {
+    /// Builds a world per `config`.
+    pub fn build(config: WorldConfig) -> World {
+        let mut internet = generate(&config.topo()).expect("topology generation");
+        let vns = build_vns(&mut internet, &config.vns).expect("VNS convergence");
+        let factory = ChannelFactory::new(
+            CalibrationConfig::default(),
+            RngTree::new(config.seed).subtree("channels"),
+        );
+        World {
+            internet,
+            vns,
+            factory,
+            config,
+        }
+    }
+
+    /// A geo-cold-potato world with default settings.
+    pub fn geo(seed: u64, scale: f64) -> World {
+        World::build(WorldConfig {
+            seed,
+            scale,
+            ..WorldConfig::default()
+        })
+    }
+
+    /// The same deployment in hot-potato ("before") mode.
+    pub fn hot(seed: u64, scale: f64) -> World {
+        let mut cfg = WorldConfig {
+            seed,
+            scale,
+            ..WorldConfig::default()
+        };
+        cfg.vns.mode = RoutingMode::HotPotato;
+        World::build(cfg)
+    }
+}

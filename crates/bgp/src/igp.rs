@@ -1,0 +1,199 @@
+//! Interior gateway protocol: weighted shortest paths inside an AS.
+//!
+//! The decision process's hot-potato step compares IGP costs to candidate
+//! next hops; inside VNS the IGP weights are derived from the dedicated
+//! L2-link propagation delays, so "nearest exit" means what it means in a
+//! real deployment.
+
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::route::SpeakerId;
+
+/// An undirected weighted graph over router ids.
+#[derive(Debug, Clone, Default)]
+pub struct IgpGraph {
+    adj: BTreeMap<SpeakerId, Vec<(SpeakerId, u64)>>,
+}
+
+impl IgpGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures a node exists (isolated until linked).
+    pub fn add_node(&mut self, id: SpeakerId) {
+        self.adj.entry(id).or_default();
+    }
+
+    /// Adds an undirected link with `cost` (typically delay in
+    /// microseconds).
+    pub fn add_link(&mut self, a: SpeakerId, b: SpeakerId, cost: u64) {
+        self.adj.entry(a).or_default().push((b, cost));
+        self.adj.entry(b).or_default().push((a, cost));
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = SpeakerId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// All undirected edges `(a, b, cost)` with `a < b`.
+    pub fn edges(&self) -> Vec<(SpeakerId, SpeakerId, u64)> {
+        let mut out = Vec::new();
+        for (&a, nbrs) in &self.adj {
+            for &(b, cost) in nbrs {
+                if a < b {
+                    out.push((a, b, cost));
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-source shortest-path costs (Dijkstra). Unreachable nodes are
+    /// absent from the result.
+    pub fn shortest_costs(&self, src: SpeakerId) -> BTreeMap<SpeakerId, u64> {
+        let mut dist: BTreeMap<SpeakerId, u64> = BTreeMap::new();
+        if !self.adj.contains_key(&src) {
+            return dist;
+        }
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, SpeakerId)>> = BinaryHeap::new();
+        dist.insert(src, 0);
+        heap.push(std::cmp::Reverse((0, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if dist.get(&u).is_some_and(|&best| d > best) {
+                continue;
+            }
+            for &(v, w) in self.adj.get(&u).into_iter().flatten() {
+                let nd = d + w;
+                if dist.get(&v).is_none_or(|&best| nd < best) {
+                    dist.insert(v, nd);
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest path (node list, inclusive) from `src` to `dst`; `None`
+    /// when unreachable. Ties broken towards lower node ids for
+    /// determinism.
+    pub fn shortest_path(&self, src: SpeakerId, dst: SpeakerId) -> Option<Vec<SpeakerId>> {
+        if src == dst {
+            return self.adj.contains_key(&src).then(|| vec![src]);
+        }
+        let dist_from_src = self.shortest_costs(src);
+        dist_from_src.get(&dst)?;
+        // Walk backwards from dst picking a predecessor on a shortest path.
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            let dc = dist_from_src[&cur];
+            let mut pred: Option<(SpeakerId, u64)> = None;
+            for &(v, w) in self.adj.get(&cur).into_iter().flatten() {
+                if let Some(&dv) = dist_from_src.get(&v) {
+                    if dv + w == dc && pred.is_none_or(|(p, _)| v < p) {
+                        pred = Some((v, w));
+                    }
+                }
+            }
+            let (p, _) = pred?; // graph mutated mid-walk would be a bug
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(id: u32) -> SpeakerId {
+        SpeakerId(id)
+    }
+
+    fn diamond() -> IgpGraph {
+        // 1 -2- 2 -3- 4
+        //  \-10- 3 -1-/
+        let mut g = IgpGraph::new();
+        g.add_link(s(1), s(2), 2);
+        g.add_link(s(2), s(4), 3);
+        g.add_link(s(1), s(3), 10);
+        g.add_link(s(3), s(4), 1);
+        g
+    }
+
+    #[test]
+    fn shortest_costs_basic() {
+        let g = diamond();
+        let d = g.shortest_costs(s(1));
+        assert_eq!(d[&s(1)], 0);
+        assert_eq!(d[&s(2)], 2);
+        assert_eq!(d[&s(4)], 5);
+        assert_eq!(d[&s(3)], 6); // via 2-4-3, not the direct 10
+    }
+
+    #[test]
+    fn shortest_path_nodes() {
+        let g = diamond();
+        assert_eq!(
+            g.shortest_path(s(1), s(4)).unwrap(),
+            vec![s(1), s(2), s(4)]
+        );
+        assert_eq!(g.shortest_path(s(1), s(1)).unwrap(), vec![s(1)]);
+    }
+
+    #[test]
+    fn unreachable() {
+        let mut g = diamond();
+        g.add_node(s(99));
+        assert!(!g.shortest_costs(s(1)).contains_key(&s(99)));
+        assert!(g.shortest_path(s(1), s(99)).is_none());
+        assert!(g.shortest_costs(s(100)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths 1-2-4 and 1-3-4; predecessor choice must be
+        // stable (lower id).
+        let mut g = IgpGraph::new();
+        g.add_link(s(1), s(2), 1);
+        g.add_link(s(1), s(3), 1);
+        g.add_link(s(2), s(4), 1);
+        g.add_link(s(3), s(4), 1);
+        let p1 = g.shortest_path(s(1), s(4)).unwrap();
+        let p2 = g.shortest_path(s(1), s(4)).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1, vec![s(1), s(2), s(4)]);
+    }
+
+    #[test]
+    fn path_costs_match_costs_map() {
+        let g = diamond();
+        let costs = g.shortest_costs(s(1));
+        for dst in g.nodes() {
+            if let Some(path) = g.shortest_path(s(1), dst) {
+                let mut sum = 0;
+                for w in path.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    let wcost = g.adj[&a]
+                        .iter()
+                        .filter(|(v, _)| *v == b)
+                        .map(|(_, c)| *c)
+                        .min()
+                        .unwrap();
+                    sum += wcost;
+                }
+                assert_eq!(sum, costs[&dst], "path cost mismatch to {dst}");
+            }
+        }
+    }
+}

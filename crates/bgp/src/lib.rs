@@ -1,0 +1,47 @@
+//! A message-level BGP implementation.
+//!
+//! The paper's routing contribution is a *modification* of BGP route
+//! reflection: LOCAL_PREF rewritten from geographic distance (Sec 3.2). To
+//! show that mechanism's behaviour — including the hidden-routes pathology
+//! and its best-external fix — this crate implements the protocol machinery
+//! it sits on:
+//!
+//! * [`Prefix`] and a binary [`trie`] with longest-prefix match;
+//! * [`RouteAttrs`] — LOCAL_PREF, AS_PATH, ORIGIN, MED, communities
+//!   (including `NO_EXPORT`), originator/cluster list;
+//! * the full [`decision`] process in the order the paper lists it
+//!   (Sec 3.2): local-pref ▸ AS-path length ▸ origin ▸ MED ▸ eBGP-over-iBGP
+//!   ▸ IGP metric to next hop (hot potato) ▸ router id;
+//! * [`policy`] — Gao–Rexford import preferences and export scoping used by
+//!   the synthetic Internet, plus community filtering;
+//! * [`speaker`] — per-router Adj-RIB-In / Loc-RIB / Adj-RIB-Out state with
+//!   route-reflector semantics (cluster list, originator id), *best
+//!   external* advertisement, and an import hook through which `vns-core`
+//!   injects the geo LOCAL_PREF rewrite;
+//! * [`igp`] — weighted shortest paths inside an AS, driving the hot-potato
+//!   tie-break;
+//! * [`net`] — an activation-queue convergence engine over a set of
+//!   speakers, deterministic and run-to-quiescence.
+//!
+//! One speaker models one router. The synthetic Internet runs one speaker
+//! per AS (standard practice for interdomain studies); the VNS AS runs one
+//! speaker per border router plus dedicated route reflectors, which is what
+//! the paper's figures are about.
+
+pub mod decision;
+pub mod igp;
+pub mod net;
+pub mod policy;
+pub mod prefix;
+pub mod route;
+pub mod speaker;
+pub mod trie;
+
+pub use decision::{compare_routes, select_best, Candidate, DecisionContext};
+pub use igp::IgpGraph;
+pub use net::{BgpNet, ConvergenceError, ConvergenceStats, PathError, SpeakerId};
+pub use policy::{may_export, ExportScope, ImportAction, Policy, Relation};
+pub use prefix::Prefix;
+pub use route::{Asn, Community, Origin, RouteAttrs, RouteSource, DEFAULT_LOCAL_PREF};
+pub use speaker::{ImportHook, Message, PeerConfig, PeerKind, Speaker};
+pub use trie::PrefixTrie;

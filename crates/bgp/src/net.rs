@@ -1,0 +1,433 @@
+//! The convergence engine: runs a set of speakers to quiescence.
+//!
+//! An activation queue drives processing: delivering a message marks the
+//! receiver active; an active speaker ingests its inbox, reruns the decision
+//! process for dirty prefixes, and emits further messages. The queue drains
+//! in router-id order, so runs are deterministic.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::decision::Candidate;
+use crate::prefix::Prefix;
+use crate::route::RouteSource;
+pub use crate::route::SpeakerId;
+use crate::speaker::{Message, PeerConfig, PeerKind, Speaker};
+
+/// Statistics from a convergence run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConvergenceStats {
+    /// Speaker activations processed.
+    pub activations: u64,
+    /// Messages delivered.
+    pub messages: u64,
+}
+
+/// Error from [`BgpNet::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceError {
+    /// The message budget was exhausted before quiescence (almost certainly
+    /// a policy dispute / oscillation).
+    BudgetExhausted {
+        /// Messages delivered before giving up.
+        messages: u64,
+    },
+}
+
+impl std::fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvergenceError::BudgetExhausted { messages } => {
+                write!(f, "BGP did not converge within {messages} messages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvergenceError {}
+
+/// Error from data-plane resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// The starting speaker does not exist.
+    NoSuchSpeaker(SpeakerId),
+    /// No route to the prefix at some speaker on the way.
+    NoRoute(SpeakerId),
+    /// A forwarding loop was detected (should not happen post-convergence).
+    ForwardingLoop,
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::NoSuchSpeaker(s) => write!(f, "unknown speaker {s}"),
+            PathError::NoRoute(s) => write!(f, "no route at {s}"),
+            PathError::ForwardingLoop => f.write_str("forwarding loop"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A network of speakers plus in-flight messages.
+#[derive(Debug, Default)]
+pub struct BgpNet {
+    speakers: BTreeMap<SpeakerId, Speaker>,
+    inboxes: BTreeMap<SpeakerId, VecDeque<(SpeakerId, Message)>>,
+    active: BTreeSet<SpeakerId>,
+}
+
+impl BgpNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a speaker.
+    ///
+    /// # Panics
+    /// Panics when the id is already taken.
+    pub fn add_speaker(&mut self, speaker: Speaker) {
+        let id = speaker.id();
+        let prev = self.speakers.insert(id, speaker);
+        assert!(prev.is_none(), "duplicate speaker id {id}");
+        self.inboxes.entry(id).or_default();
+    }
+
+    /// Number of speakers.
+    pub fn len(&self) -> usize {
+        self.speakers.len()
+    }
+
+    /// True when no speakers exist.
+    pub fn is_empty(&self) -> bool {
+        self.speakers.is_empty()
+    }
+
+    /// Immutable speaker access.
+    pub fn speaker(&self, id: SpeakerId) -> Option<&Speaker> {
+        self.speakers.get(&id)
+    }
+
+    /// Mutable speaker access; marks the speaker active (its state may have
+    /// changed).
+    pub fn speaker_mut(&mut self, id: SpeakerId) -> Option<&mut Speaker> {
+        self.active.insert(id);
+        self.speakers.get_mut(&id)
+    }
+
+    /// All speaker ids in order.
+    pub fn speaker_ids(&self) -> impl Iterator<Item = SpeakerId> + '_ {
+        self.speakers.keys().copied()
+    }
+
+    /// Configures both sides of a session.
+    ///
+    /// # Panics
+    /// Panics when either speaker is missing or the kinds are inconsistent
+    /// (e.g. one side eBGP and the other iBGP).
+    pub fn connect(&mut self, a: SpeakerId, a_cfg: PeerConfig, b: SpeakerId, b_cfg: PeerConfig) {
+        assert_eq!(
+            a_cfg.kind.is_ebgp(),
+            b_cfg.kind.is_ebgp(),
+            "session kind mismatch between {a} and {b}"
+        );
+        {
+            let sa = self.speakers.get_mut(&a).expect("speaker a exists");
+            sa.add_peer(b, a_cfg);
+        }
+        {
+            let sb = self.speakers.get_mut(&b).expect("speaker b exists");
+            sb.add_peer(a, b_cfg);
+        }
+    }
+
+    /// Tears down the session between `a` and `b` (both directions),
+    /// discarding any in-flight messages on it. Both speakers reconverge
+    /// on the next [`BgpNet::run`]. Models a link/router failure between
+    /// them.
+    pub fn disconnect(&mut self, a: SpeakerId, b: SpeakerId) {
+        if let Some(sa) = self.speakers.get_mut(&a) {
+            sa.remove_peer(b);
+            self.active.insert(a);
+        }
+        if let Some(sb) = self.speakers.get_mut(&b) {
+            sb.remove_peer(a);
+            self.active.insert(b);
+        }
+        if let Some(inbox) = self.inboxes.get_mut(&a) {
+            inbox.retain(|(from, _)| *from != b);
+        }
+        if let Some(inbox) = self.inboxes.get_mut(&b) {
+            inbox.retain(|(from, _)| *from != a);
+        }
+    }
+
+    /// Originates a prefix at a speaker and schedules propagation.
+    pub fn originate(&mut self, at: SpeakerId, prefix: Prefix) {
+        self.speakers
+            .get_mut(&at)
+            .expect("speaker exists")
+            .originate(prefix);
+        self.active.insert(at);
+    }
+
+    /// Runs to quiescence. `message_budget` bounds total deliveries.
+    pub fn run(&mut self, message_budget: u64) -> Result<ConvergenceStats, ConvergenceError> {
+        let mut stats = ConvergenceStats::default();
+        // Any speaker with local state changes starts active.
+        for (id, s) in &self.speakers {
+            if s.has_pending_work() {
+                self.active.insert(*id);
+            }
+        }
+        while let Some(id) = self.active.pop_first() {
+            stats.activations += 1;
+            let speaker = self.speakers.get_mut(&id).expect("active speaker exists");
+            if let Some(inbox) = self.inboxes.get_mut(&id) {
+                while let Some((from, msg)) = inbox.pop_front() {
+                    speaker.receive(from, msg);
+                }
+            }
+            let outgoing = speaker.process();
+            for (to, msg) in outgoing {
+                stats.messages += 1;
+                if stats.messages > message_budget {
+                    return Err(ConvergenceError::BudgetExhausted {
+                        messages: stats.messages,
+                    });
+                }
+                self.inboxes.entry(to).or_default().push_back((id, msg));
+                self.active.insert(to);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// The best route at `speaker` for `prefix`.
+    pub fn best_route(&self, speaker: SpeakerId, prefix: &Prefix) -> Option<&Candidate> {
+        self.speakers.get(&speaker)?.best(prefix)
+    }
+
+    /// Resolves the router-level forwarding path from `from` towards
+    /// `prefix`, following each router's Loc-RIB until the route's
+    /// originator is reached. Consecutive entries alternate between
+    /// intra-AS moves (towards the iBGP next hop) and eBGP hops.
+    pub fn forwarding_path(
+        &self,
+        from: SpeakerId,
+        prefix: &Prefix,
+    ) -> Result<Vec<SpeakerId>, PathError> {
+        let mut path = vec![from];
+        let mut cur = from;
+        // Generous bound: router-level paths cross each AS at most twice.
+        for _ in 0..64 {
+            let speaker = self
+                .speakers
+                .get(&cur)
+                .ok_or(PathError::NoSuchSpeaker(cur))?;
+            let best = speaker.best(prefix).ok_or(PathError::NoRoute(cur))?;
+            match best.source {
+                RouteSource::Local => return Ok(path),
+                RouteSource::Ebgp { peer, .. } => {
+                    if path.contains(&peer) {
+                        return Err(PathError::ForwardingLoop);
+                    }
+                    path.push(peer);
+                    cur = peer;
+                }
+                RouteSource::Ibgp { .. } => {
+                    // Move inside the AS to the egress border router.
+                    let nh = best.attrs.next_hop;
+                    if nh == cur || path.contains(&nh) {
+                        return Err(PathError::ForwardingLoop);
+                    }
+                    path.push(nh);
+                    cur = nh;
+                }
+            }
+        }
+        Err(PathError::ForwardingLoop)
+    }
+
+    /// Convenience for building sessions: standard eBGP both ways with the
+    /// given relation as seen from `a` (`b` gets the inverse).
+    pub fn connect_ebgp(
+        &mut self,
+        a: SpeakerId,
+        b: SpeakerId,
+        a_view: crate::policy::Relation,
+        import: crate::policy::Policy,
+    ) {
+        let a_asn = self.speakers.get(&a).expect("a exists").asn();
+        let b_asn = self.speakers.get(&b).expect("b exists").asn();
+        self.connect(
+            a,
+            PeerConfig {
+                kind: PeerKind::Ebgp {
+                    peer_as: b_asn,
+                    relation: a_view,
+                },
+                import,
+            },
+            b,
+            PeerConfig {
+                kind: PeerKind::Ebgp {
+                    peer_as: a_asn,
+                    relation: a_view.inverse(),
+                },
+                import,
+            },
+        );
+    }
+
+    /// Convenience: reflector/client iBGP pair (`rr` treats `client` as a
+    /// reflection client).
+    pub fn connect_rr_client(
+        &mut self,
+        rr: SpeakerId,
+        client: SpeakerId,
+        import: crate::policy::Policy,
+    ) {
+        self.connect(
+            rr,
+            PeerConfig {
+                kind: PeerKind::IbgpClient,
+                import,
+            },
+            client,
+            PeerConfig {
+                kind: PeerKind::Ibgp,
+                import,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Policy, Relation};
+    use crate::route::Asn;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Chain: AS1 (customer) -> AS2 (provider of 1, customer of 3) -> AS3.
+    fn chain() -> BgpNet {
+        let mut net = BgpNet::new();
+        for i in 1..=3 {
+            net.add_speaker(Speaker::new(SpeakerId(i), Asn(i)));
+        }
+        net.connect_ebgp(SpeakerId(1), SpeakerId(2), Relation::Provider, Policy::GaoRexford);
+        net.connect_ebgp(SpeakerId(2), SpeakerId(3), Relation::Provider, Policy::GaoRexford);
+        net
+    }
+
+    #[test]
+    fn propagation_along_chain() {
+        let mut net = chain();
+        net.originate(SpeakerId(1), p("10.1.0.0/16"));
+        let stats = net.run(10_000).unwrap();
+        assert!(stats.messages >= 2);
+        let best3 = net.best_route(SpeakerId(3), &p("10.1.0.0/16")).unwrap();
+        assert_eq!(best3.attrs.as_path, vec![Asn(2), Asn(1)]);
+        let path = net.forwarding_path(SpeakerId(3), &p("10.1.0.0/16")).unwrap();
+        assert_eq!(path, vec![SpeakerId(3), SpeakerId(2), SpeakerId(1)]);
+    }
+
+    #[test]
+    fn valley_free_blocks_peer_transit() {
+        // AS1 -peer- AS2 -peer- AS3: AS3 must NOT learn AS1's prefix via
+        // AS2 (peer routes don't go to peers).
+        let mut net = BgpNet::new();
+        for i in 1..=3 {
+            net.add_speaker(Speaker::new(SpeakerId(i), Asn(i)));
+        }
+        net.connect_ebgp(SpeakerId(1), SpeakerId(2), Relation::Peer, Policy::GaoRexford);
+        net.connect_ebgp(SpeakerId(2), SpeakerId(3), Relation::Peer, Policy::GaoRexford);
+        net.originate(SpeakerId(1), p("10.1.0.0/16"));
+        net.run(10_000).unwrap();
+        assert!(net.best_route(SpeakerId(2), &p("10.1.0.0/16")).is_some());
+        assert!(net.best_route(SpeakerId(3), &p("10.1.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn prefers_peer_over_provider_path() {
+        // AS4 can reach AS1 via provider AS2 or via peer AS3; Gao-Rexford
+        // picks the peer.
+        let mut net = BgpNet::new();
+        for i in 1..=4 {
+            net.add_speaker(Speaker::new(SpeakerId(i), Asn(i)));
+        }
+        // AS1 is customer of both 2 and 3.
+        net.connect_ebgp(SpeakerId(1), SpeakerId(2), Relation::Provider, Policy::GaoRexford);
+        net.connect_ebgp(SpeakerId(1), SpeakerId(3), Relation::Provider, Policy::GaoRexford);
+        // AS4 buys transit from AS2, peers with AS3.
+        net.connect_ebgp(SpeakerId(4), SpeakerId(2), Relation::Provider, Policy::GaoRexford);
+        net.connect_ebgp(SpeakerId(4), SpeakerId(3), Relation::Peer, Policy::GaoRexford);
+        net.originate(SpeakerId(1), p("10.1.0.0/16"));
+        net.run(10_000).unwrap();
+        let best = net.best_route(SpeakerId(4), &p("10.1.0.0/16")).unwrap();
+        assert_eq!(best.attrs.neighbor_as(), Some(Asn(3)));
+    }
+
+    #[test]
+    fn withdraw_reconverges() {
+        let mut net = chain();
+        net.originate(SpeakerId(1), p("10.1.0.0/16"));
+        net.run(10_000).unwrap();
+        assert!(net.best_route(SpeakerId(3), &p("10.1.0.0/16")).is_some());
+        net.speaker_mut(SpeakerId(1))
+            .unwrap()
+            .withdraw_local(p("10.1.0.0/16"));
+        net.run(10_000).unwrap();
+        assert!(net.best_route(SpeakerId(3), &p("10.1.0.0/16")).is_none());
+        assert!(net.best_route(SpeakerId(2), &p("10.1.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let build = || {
+            let mut net = chain();
+            net.originate(SpeakerId(1), p("10.1.0.0/16"));
+            let stats = net.run(10_000).unwrap();
+            (stats, net
+                .best_route(SpeakerId(3), &p("10.1.0.0/16"))
+                .unwrap()
+                .attrs
+                .clone())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn budget_error() {
+        let mut net = chain();
+        net.originate(SpeakerId(1), p("10.1.0.0/16"));
+        let err = net.run(1).unwrap_err();
+        assert!(matches!(err, ConvergenceError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn ibgp_full_propagation_with_rr() {
+        // AS100: border routers 11, 12, RR 10. External AS200 (speaker 2)
+        // announces to router 11; router 12 must learn it via the RR.
+        let mut net = BgpNet::new();
+        net.add_speaker(Speaker::new(SpeakerId(2), Asn(200)));
+        for i in [10, 11, 12] {
+            net.add_speaker(Speaker::new(SpeakerId(i), Asn(100)));
+        }
+        net.connect_ebgp(SpeakerId(11), SpeakerId(2), Relation::Provider, Policy::FlatPreference);
+        net.connect_rr_client(SpeakerId(10), SpeakerId(11), Policy::FlatPreference);
+        net.connect_rr_client(SpeakerId(10), SpeakerId(12), Policy::FlatPreference);
+        net.originate(SpeakerId(2), p("10.2.0.0/16"));
+        net.run(10_000).unwrap();
+        let best12 = net.best_route(SpeakerId(12), &p("10.2.0.0/16")).unwrap();
+        assert!(best12.source.is_ibgp());
+        assert_eq!(best12.attrs.next_hop, SpeakerId(11));
+        // Data plane: 12 -> 11 (intra-AS) -> 2 (eBGP).
+        let path = net.forwarding_path(SpeakerId(12), &p("10.2.0.0/16")).unwrap();
+        assert_eq!(path, vec![SpeakerId(12), SpeakerId(11), SpeakerId(2)]);
+    }
+}

@@ -1,0 +1,233 @@
+//! IPv4 prefixes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 prefix: a 32-bit address and a mask length.
+///
+/// The address is stored canonicalised (host bits zeroed), so two `Prefix`
+/// values are equal iff they denote the same address block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+/// Errors from [`Prefix::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// Missing `/` separator.
+    MissingSlash,
+    /// The address part is not a dotted quad.
+    BadAddress,
+    /// The length part is not an integer in `0..=32`.
+    BadLength,
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixParseError::MissingSlash => f.write_str("missing '/' in prefix"),
+            PrefixParseError::BadAddress => f.write_str("bad dotted-quad address"),
+            PrefixParseError::BadLength => f.write_str("prefix length must be 0..=32"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl Prefix {
+    /// Builds a prefix, zeroing host bits.
+    ///
+    /// # Panics
+    /// Panics when `len > 32`.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Self {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { addr: 0, len: 0 };
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Network address (host bits zero).
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Mask length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: u32) -> bool {
+        (ip & Self::mask(self.len)) == self.addr
+    }
+
+    /// Whether `other` is a subnet of (or equal to) this prefix.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The first usable probe target in the prefix (the paper probes "the
+    /// first IP address in each destination prefix"). For a /32 this is the
+    /// address itself; otherwise network address + 1.
+    pub fn first_host(&self) -> u32 {
+        if self.len == 32 {
+            self.addr
+        } else {
+            self.addr + 1
+        }
+    }
+
+    /// Splits into the two /len+1 halves; `None` for a /32.
+    pub fn split(&self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let lo = Prefix::new(self.addr, len);
+        let hi = Prefix::new(self.addr | (1 << (32 - len)), len);
+        Some((lo, hi))
+    }
+
+    /// The `i`-th subnet of this prefix at mask length `sub_len`.
+    ///
+    /// # Panics
+    /// Panics when `sub_len` < own length or `i` is out of range.
+    pub fn subnet(&self, sub_len: u8, i: u32) -> Prefix {
+        assert!(sub_len >= self.len && sub_len <= 32, "bad subnet length");
+        let slots = 1u64 << (sub_len - self.len);
+        assert!((i as u64) < slots, "subnet index out of range");
+        Prefix::new(self.addr | (i << (32 - sub_len)), sub_len)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.addr;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            a >> 24,
+            (a >> 16) & 0xff,
+            (a >> 8) & 0xff,
+            a & 0xff,
+            self.len
+        )
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_s, len_s) = s.split_once('/').ok_or(PrefixParseError::MissingSlash)?;
+        let len: u8 = len_s.parse().map_err(|_| PrefixParseError::BadLength)?;
+        if len > 32 {
+            return Err(PrefixParseError::BadLength);
+        }
+        let mut octets = [0u8; 4];
+        let mut it = addr_s.split('.');
+        for o in &mut octets {
+            *o = it
+                .next()
+                .ok_or(PrefixParseError::BadAddress)?
+                .parse()
+                .map_err(|_| PrefixParseError::BadAddress)?;
+        }
+        if it.next().is_some() {
+            return Err(PrefixParseError::BadAddress);
+        }
+        let addr = u32::from_be_bytes(octets);
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalises_host_bits() {
+        let p = Prefix::new(0x0a0a0aff, 24);
+        assert_eq!(p.addr(), 0x0a0a0a00);
+        assert_eq!(p, "10.10.10.0/24".parse().unwrap());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("10.0.0.0".parse::<Prefix>(), Err(PrefixParseError::MissingSlash));
+        assert_eq!("10.0.0/8".parse::<Prefix>(), Err(PrefixParseError::BadAddress));
+        assert_eq!("10.0.0.0.1/8".parse::<Prefix>(), Err(PrefixParseError::BadAddress));
+        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!("10.0.0.0/x".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let p: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(p.contains(0x0a010203));
+        assert!(!p.contains(0x0a020203));
+        assert!(p.covers(&"10.1.2.0/24".parse().unwrap()));
+        assert!(!p.covers(&"10.0.0.0/8".parse().unwrap()));
+        assert!(p.covers(&p));
+    }
+
+    #[test]
+    fn first_host() {
+        let p: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert_eq!(p.first_host(), 0x0a010001);
+        let h: Prefix = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(h.first_host(), 0x01020304);
+    }
+
+    #[test]
+    fn split_halves() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let (lo, hi) = p.split().unwrap();
+        assert_eq!(lo.to_string(), "10.0.0.0/9");
+        assert_eq!(hi.to_string(), "10.128.0.0/9");
+        assert!("1.1.1.1/32".parse::<Prefix>().unwrap().split().is_none());
+    }
+
+    #[test]
+    fn subnets() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.subnet(10, 3).to_string(), "10.192.0.0/10");
+        assert_eq!(p.subnet(8, 0), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subnet_bounds_checked() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let _ = p.subnet(9, 2);
+    }
+
+    #[test]
+    fn default_route() {
+        assert!(Prefix::DEFAULT.contains(0xffffffff));
+        assert!(Prefix::DEFAULT.contains(0));
+        assert_eq!(Prefix::DEFAULT.to_string(), "0.0.0.0/0");
+    }
+}

@@ -1,0 +1,213 @@
+//! Route attributes and identifiers.
+
+use std::fmt;
+
+use crate::policy::Relation;
+
+/// An Autonomous System number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// A BGP speaker (router) identifier, unique across the whole simulated
+/// network. Doubles as the router id used in the final decision tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpeakerId(pub u32);
+
+impl fmt::Display for SpeakerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// The ORIGIN attribute; lower is preferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Origin {
+    /// Learned from an interior protocol (best).
+    Igp,
+    /// Learned via EGP.
+    Egp,
+    /// Redistributed/unknown (worst).
+    Incomplete,
+}
+
+/// BGP community values. Only the well-known ones the paper uses are
+/// modelled, plus free-form tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Community {
+    /// RFC 1997 `NO_EXPORT`: do not advertise over eBGP. The management
+    /// interface tags injected more-specifics with this so they never leak
+    /// outside VNS (Sec 3.2).
+    NoExport,
+    /// RFC 1997 `NO_ADVERTISE`: do not advertise to any peer.
+    NoAdvertise,
+    /// Operator-defined tag.
+    Tag(u32),
+}
+
+/// Default LOCAL_PREF assigned when a route carries none (RFC-typical 100;
+/// the paper's geo values are always "much higher than the default of 100").
+pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+/// The attributes of one route announcement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteAttrs {
+    /// LOCAL_PREF — higher wins; meaningful only inside an AS.
+    pub local_pref: u32,
+    /// AS_PATH, nearest AS first.
+    pub as_path: Vec<Asn>,
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// Multi-Exit Discriminator — lower wins, compared between routes from
+    /// the same neighbour AS.
+    pub med: u32,
+    /// Communities.
+    pub communities: Vec<Community>,
+    /// The border router through which traffic exits the local AS (set to
+    /// the receiving router at eBGP ingress, preserved across iBGP — i.e.
+    /// next-hop-self convention).
+    pub next_hop: SpeakerId,
+    /// ORIGINATOR_ID — set by a route reflector to the router that injected
+    /// the route into iBGP (loop prevention).
+    pub originator_id: Option<SpeakerId>,
+    /// CLUSTER_LIST — cluster ids prepended by each reflector (loop
+    /// prevention + tie-break).
+    pub cluster_list: Vec<u32>,
+}
+
+impl RouteAttrs {
+    /// Attributes for a locally originated route on router `me`.
+    pub fn originate(me: SpeakerId) -> Self {
+        Self {
+            local_pref: DEFAULT_LOCAL_PREF,
+            as_path: Vec::new(),
+            origin: Origin::Igp,
+            med: 0,
+            communities: Vec::new(),
+            next_hop: me,
+            originator_id: None,
+            cluster_list: Vec::new(),
+        }
+    }
+
+    /// Whether a community is present.
+    pub fn has_community(&self, c: Community) -> bool {
+        self.communities.contains(&c)
+    }
+
+    /// The neighbouring AS this route was heard from (first AS on the
+    /// path); `None` for locally originated routes.
+    pub fn neighbor_as(&self) -> Option<Asn> {
+        self.as_path.first().copied()
+    }
+
+    /// The AS that originated the prefix (last AS on the path); `None` for
+    /// locally originated routes.
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.as_path.last().copied()
+    }
+
+    /// Whether `asn` appears on the AS path (eBGP loop check).
+    pub fn path_contains(&self, asn: Asn) -> bool {
+        self.as_path.contains(&asn)
+    }
+}
+
+/// How a RIB entry was learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteSource {
+    /// Learned over eBGP from `peer` in `peer_as`, related to us as
+    /// `relation` (our view: the peer is our customer/peer/provider).
+    Ebgp {
+        /// Sending router.
+        peer: SpeakerId,
+        /// Its AS.
+        peer_as: Asn,
+        /// Our business relationship to that AS.
+        relation: Relation,
+    },
+    /// Learned over iBGP from `peer`.
+    Ibgp {
+        /// Sending router (RR or client).
+        peer: SpeakerId,
+    },
+    /// Locally originated.
+    Local,
+}
+
+impl RouteSource {
+    /// True for eBGP-learned routes.
+    pub fn is_ebgp(&self) -> bool {
+        matches!(self, RouteSource::Ebgp { .. })
+    }
+
+    /// True for iBGP-learned routes.
+    pub fn is_ibgp(&self) -> bool {
+        matches!(self, RouteSource::Ibgp { .. })
+    }
+
+    /// The sending router, `None` for local routes.
+    pub fn peer(&self) -> Option<SpeakerId> {
+        match self {
+            RouteSource::Ebgp { peer, .. } | RouteSource::Ibgp { peer } => Some(*peer),
+            RouteSource::Local => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_ordering() {
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+    }
+
+    #[test]
+    fn path_helpers() {
+        let mut a = RouteAttrs::originate(SpeakerId(1));
+        assert_eq!(a.neighbor_as(), None);
+        assert_eq!(a.origin_as(), None);
+        a.as_path = vec![Asn(10), Asn(20), Asn(30)];
+        assert_eq!(a.neighbor_as(), Some(Asn(10)));
+        assert_eq!(a.origin_as(), Some(Asn(30)));
+        assert!(a.path_contains(Asn(20)));
+        assert!(!a.path_contains(Asn(40)));
+    }
+
+    #[test]
+    fn communities() {
+        let mut a = RouteAttrs::originate(SpeakerId(1));
+        assert!(!a.has_community(Community::NoExport));
+        a.communities.push(Community::NoExport);
+        a.communities.push(Community::Tag(7));
+        assert!(a.has_community(Community::NoExport));
+        assert!(a.has_community(Community::Tag(7)));
+        assert!(!a.has_community(Community::Tag(8)));
+    }
+
+    #[test]
+    fn source_kinds() {
+        let e = RouteSource::Ebgp {
+            peer: SpeakerId(2),
+            peer_as: Asn(2),
+            relation: Relation::Peer,
+        };
+        assert!(e.is_ebgp() && !e.is_ibgp());
+        assert_eq!(e.peer(), Some(SpeakerId(2)));
+        assert_eq!(RouteSource::Local.peer(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Asn(64500).to_string(), "AS64500");
+        assert_eq!(SpeakerId(3).to_string(), "R3");
+    }
+}

@@ -1,0 +1,277 @@
+//! A binary prefix trie with longest-prefix match.
+//!
+//! Forwarding lookups (`vns-topo` resolving a destination IP to a route)
+//! and the management interface's more-specific injection (Sec 3.2) both
+//! need longest-prefix match over tens of thousands of prefixes; a simple
+//! uncompressed binary trie is plenty at that scale and trivially correct.
+
+use crate::prefix::Prefix;
+
+/// A map from [`Prefix`] to `V` supporting exact and longest-prefix lookups.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn empty() -> Self {
+        Self {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// Bit `i` (0 = most significant) of `addr`.
+fn bit(addr: u32, i: u8) -> usize {
+    ((addr >> (31 - i)) & 1) as usize
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self {
+            root: Node::empty(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix.addr(), i);
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::empty()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes the value at exactly `prefix`.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        // Simple non-compacting removal: orphan interior nodes are left in
+        // place (fine for our workloads, which rarely delete).
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix.addr(), i);
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix.addr(), i);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix.addr(), i);
+            node = node.children[b].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Longest-prefix match for a host address: the most specific stored
+    /// prefix containing `ip`, with its value.
+    pub fn lookup(&self, ip: u32) -> Option<(Prefix, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<(Prefix, &V)> = None;
+        if let Some(v) = &node.value {
+            best = Some((Prefix::DEFAULT, v));
+        }
+        for i in 0..32u8 {
+            let b = bit(ip, i);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = &node.value {
+                        best = Some((Prefix::new(ip, i + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        let mut out = Vec::new();
+        collect(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+
+    /// All stored prefixes in address order.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        self.iter().map(|(p, _)| p).collect()
+    }
+}
+
+fn collect<'a, V>(node: &'a Node<V>, addr: u32, len: u8, out: &mut Vec<(Prefix, &'a V)>) {
+    if let Some(v) = &node.value {
+        out.push((Prefix::new(addr, len), v));
+    }
+    if len >= 32 {
+        return;
+    }
+    if let Some(c) = node.children[0].as_deref() {
+        collect(c, addr, len + 1, out);
+    }
+    if let Some(c) = node.children[1].as_deref() {
+        collect(c, addr | (1 << (31 - len)), len + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+        let (pre, v) = t.lookup(0x0a010203).unwrap();
+        assert_eq!((pre, *v), (p("10.1.2.0/24"), "twentyfour"));
+        let (pre, v) = t.lookup(0x0a010303).unwrap();
+        assert_eq!((pre, *v), (p("10.1.0.0/16"), "sixteen"));
+        let (pre, v) = t.lookup(0x0aff0000).unwrap();
+        assert_eq!((pre, *v), (p("10.0.0.0/8"), "eight"));
+        assert_eq!(t.lookup(0x0b000000), None);
+    }
+
+    #[test]
+    fn default_route_catches_all() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::DEFAULT, "default");
+        t.insert(p("10.0.0.0/8"), "ten");
+        assert_eq!(t.lookup(0xdeadbeef).unwrap().1, &"default");
+        assert_eq!(t.lookup(0x0a000001).unwrap().1, &"ten");
+    }
+
+    #[test]
+    fn slash32() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        assert_eq!(t.lookup(0x01020304).unwrap().1, &"host");
+        assert_eq!(t.lookup(0x01020305), None);
+    }
+
+    #[test]
+    fn iteration_in_address_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.168.0.0/16"), 3);
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        let order: Vec<Prefix> = t.prefixes();
+        assert_eq!(
+            order,
+            vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.168.0.0/16")]
+        );
+    }
+
+    #[test]
+    fn lpm_matches_naive_scan_on_random_data() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut t = PrefixTrie::new();
+        let mut table = Vec::new();
+        for i in 0..500 {
+            let len = rng.gen_range(8..=28);
+            let addr: u32 = rng.gen();
+            let pre = Prefix::new(addr, len);
+            t.insert(pre, i);
+            table.push((pre, i));
+        }
+        // Duplicate prefixes overwrite in the trie; keep the last value in
+        // the naive table too.
+        let naive_lookup = |ip: u32| {
+            table
+                .iter()
+                .filter(|(pre, _)| pre.contains(ip))
+                .max_by_key(|(pre, _)| pre.len())
+                .map(|(pre, _)| {
+                    // Resolve duplicates at max length by taking the last
+                    // inserted entry of that exact prefix.
+                    let v = table
+                        .iter()
+                        .rev()
+                        .find(|(q, _)| q == pre)
+                        .map(|(_, v)| *v)
+                        .unwrap();
+                    (*pre, v)
+                })
+        };
+        for _ in 0..2000 {
+            let ip: u32 = rng.gen();
+            let got = t.lookup(ip).map(|(p, v)| (p, *v));
+            let want = naive_lookup(ip);
+            match (got, want) {
+                (None, None) => {}
+                (Some((gp, gv)), Some((wp, wv))) => {
+                    assert_eq!(gp.len(), wp.len(), "match specificity differs for {ip:#x}");
+                    assert_eq!(gp, wp);
+                    assert_eq!(gv, wv);
+                }
+                other => panic!("mismatch for {ip:#x}: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the BGP machinery: prefix canonicalisation, trie
+//! correctness against a naive table, decision-process order axioms, and
+//! valley-free export.
+
+use proptest::prelude::*;
+use vns_bgp::{
+    compare_routes, may_export, Asn, Candidate, DecisionContext, Origin, Prefix, PrefixTrie,
+    Relation, RouteAttrs, RouteSource, SpeakerId,
+};
+
+fn prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(a, l))
+}
+
+fn source() -> impl Strategy<Value = RouteSource> {
+    prop_oneof![
+        Just(RouteSource::Local),
+        (1u32..100).prop_map(|p| RouteSource::Ibgp { peer: SpeakerId(p) }),
+        (1u32..100, prop_oneof![
+            Just(Relation::Customer),
+            Just(Relation::Peer),
+            Just(Relation::Provider)
+        ])
+            .prop_map(|(p, relation)| RouteSource::Ebgp {
+                peer: SpeakerId(p),
+                peer_as: Asn(p),
+                relation,
+            }),
+    ]
+}
+
+fn candidate() -> impl Strategy<Value = Candidate> {
+    (
+        90u32..200,
+        prop::collection::vec(1u32..50, 0..5),
+        0u32..3,
+        0u32..20,
+        1u32..40,
+        prop::collection::vec(1u32..8, 0..3),
+        source(),
+    )
+        .prop_map(|(lp, path, origin, med, nh, clusters, source)| Candidate {
+            attrs: RouteAttrs {
+                local_pref: lp,
+                as_path: path.into_iter().map(Asn).collect(),
+                origin: match origin {
+                    0 => Origin::Igp,
+                    1 => Origin::Egp,
+                    _ => Origin::Incomplete,
+                },
+                med,
+                communities: vec![],
+                next_hop: SpeakerId(nh),
+                originator_id: None,
+                cluster_list: clusters,
+            },
+            source,
+        })
+}
+
+proptest! {
+    #[test]
+    fn prefix_display_parse_roundtrip(p in prefix()) {
+        let s = p.to_string();
+        let q: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn prefix_contains_its_own_hosts(p in prefix(), salt in any::<u32>()) {
+        // Any address formed by ORing host bits into the network stays in.
+        let host_mask = if p.len() == 0 { u32::MAX } else if p.len() == 32 { 0 } else { u32::MAX >> p.len() };
+        let ip = p.addr() | (salt & host_mask);
+        prop_assert!(p.contains(ip));
+        prop_assert!(p.contains(p.first_host()));
+    }
+
+    #[test]
+    fn split_partitions_the_prefix(p in prefix(), salt in any::<u32>()) {
+        if let Some((lo, hi)) = p.split() {
+            let host_mask = if p.len() == 0 { u32::MAX } else { u32::MAX >> p.len() };
+            let ip = p.addr() | (salt & host_mask);
+            prop_assert!(lo.contains(ip) ^ hi.contains(ip));
+            prop_assert!(p.covers(&lo) && p.covers(&hi));
+        }
+    }
+
+    #[test]
+    fn trie_matches_naive_scan(
+        entries in prop::collection::vec((any::<u32>(), 4u8..=28), 1..120),
+        probes in prop::collection::vec(any::<u32>(), 1..60)
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut table: Vec<(Prefix, usize)> = Vec::new();
+        for (i, (addr, len)) in entries.iter().enumerate() {
+            let p = Prefix::new(*addr, *len);
+            trie.insert(p, i);
+            table.retain(|(q, _)| *q != p);
+            table.push((p, i));
+        }
+        for ip in probes {
+            let got = trie.lookup(ip).map(|(p, v)| (p, *v));
+            let want = table
+                .iter()
+                .filter(|(p, _)| p.contains(ip))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, v)| (*p, *v));
+            // Compare specificity (value may differ only if two distinct
+            // prefixes had equal length — impossible for canonical prefixes
+            // containing the same ip at the same length).
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn decision_is_reflexive_and_antisymmetric(a in candidate(), b in candidate()) {
+        let ctx = DecisionContext::no_igp();
+        prop_assert_eq!(compare_routes(&a, &a, &ctx), std::cmp::Ordering::Equal);
+        let ab = compare_routes(&a, &b, &ctx);
+        let ba = compare_routes(&b, &a, &ctx);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn decision_is_transitive(a in candidate(), b in candidate(), c in candidate()) {
+        use std::cmp::Ordering::*;
+        let ctx = DecisionContext::no_igp();
+        let ab = compare_routes(&a, &b, &ctx);
+        let bc = compare_routes(&b, &c, &ctx);
+        let ac = compare_routes(&a, &c, &ctx);
+        // The tie-break chain is lexicographic except for MED's
+        // same-neighbour scoping, which can break transitivity in
+        // pathological cases (a well-known BGP wart). Restrict the check to
+        // candidate sets where MED scoping is uniform.
+        let same_neighbor = a.attrs.neighbor_as() == b.attrs.neighbor_as()
+            && b.attrs.neighbor_as() == c.attrs.neighbor_as();
+        let no_med = a.attrs.med == b.attrs.med && b.attrs.med == c.attrs.med;
+        if same_neighbor || no_med {
+            if ab == Greater && bc == Greater {
+                prop_assert_eq!(ac, Greater);
+            }
+            if ab == Less && bc == Less {
+                prop_assert_eq!(ac, Less);
+            }
+        }
+    }
+
+    #[test]
+    fn valley_free_never_exports_peer_routes_upward(
+        to in prop_oneof![Just(Relation::Peer), Just(Relation::Provider)]
+    ) {
+        // Routes learned from peers/providers go to customers only.
+        prop_assert!(!may_export(Some(Relation::Peer), to));
+        prop_assert!(!may_export(Some(Relation::Provider), to));
+        // Own and customer routes go anywhere.
+        prop_assert!(may_export(None, to));
+        prop_assert!(may_export(Some(Relation::Customer), to));
+    }
+}

@@ -1,0 +1,310 @@
+//! VNS economics — the in-depth cost analysis the paper's Sec 6 sketches
+//! and defers to future work.
+//!
+//! The paper's qualitative claims, which this module makes computable:
+//!
+//! * cost components: equipment (one-time, amortised), hosting/power per
+//!   PoP, settlement-free peering ports, IP transit (economies of scale),
+//!   and the dedicated L2 circuits;
+//! * "the Mbps price \[of L2 links\] is typically between two and three
+//!   times the regular IP transit price in the same region";
+//! * "purchasing a L2-link requires committing to a minimum traffic
+//!   volume, i.e. a minimum bill that is paid regardless of how much is
+//!   used";
+//! * "the bulk of VNS overall cost lies in the use of the dedicated L2
+//!   links";
+//! * "our cold-potato routing increases the utilization of these links
+//!   since it keeps traffic as long as possible inside VNS. Based on this,
+//!   VNS is potentially capable of achieving economies of scale."
+//!
+//! [`analyze`] routes a synthetic demand matrix over the deployed overlay,
+//! attributes carried megabits to every dedicated circuit and transit
+//! port, and prices the result.
+
+use std::collections::BTreeMap;
+
+use vns_bgp::SpeakerId;
+use vns_topo::Internet;
+
+use crate::service::Vns;
+
+/// Pricing assumptions (monthly, arbitrary currency units).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Amortised equipment cost per PoP per month.
+    pub equipment_per_pop: f64,
+    /// Hosting, power and cooling per PoP per month.
+    pub hosting_per_pop: f64,
+    /// Port/cross-connect fee per settlement-free peering session.
+    pub peering_port: f64,
+    /// IP transit price per Mbps at the smallest commit.
+    pub transit_per_mbps_base: f64,
+    /// Transit economy-of-scale exponent: price scales as
+    /// `volume^-discount` (0 = flat pricing, ~0.25 is market-typical).
+    pub transit_scale_discount: f64,
+    /// L2 circuit price per Mbps, as a multiple of the regional transit
+    /// base price (the paper: 2–3×).
+    pub l2_price_factor: f64,
+    /// Minimum commit per L2 circuit, Mbps (billed even if unused).
+    pub l2_commit_mbps: f64,
+    /// Extra price multiplier per 1000 km of circuit length (long-haul
+    /// wavelengths cost more than metro ones).
+    pub l2_km_factor_per_1000km: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            equipment_per_pop: 2_000.0,
+            hosting_per_pop: 3_000.0,
+            peering_port: 250.0,
+            transit_per_mbps_base: 1.0, // the paper's "one USD/Mbps" Internet
+            transit_scale_discount: 0.4,
+            l2_price_factor: 2.5,
+            l2_commit_mbps: 100.0,
+            l2_km_factor_per_1000km: 0.25,
+        }
+    }
+}
+
+/// One relayed call's contribution to the demand matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Demand {
+    /// Caller address (must be inside a registered prefix).
+    pub caller: u32,
+    /// Callee address.
+    pub callee: u32,
+    /// Sustained media bitrate, Mbps (both directions combined).
+    pub mbps: f64,
+}
+
+/// Where the money goes.
+#[derive(Debug, Clone)]
+pub struct CostBreakdown {
+    /// Total demand successfully routed, Mbps.
+    pub routed_mbps: f64,
+    /// Fixed monthly cost (equipment + hosting + peering ports).
+    pub fixed: f64,
+    /// Dedicated L2 circuit bill.
+    pub l2: f64,
+    /// IP transit bill.
+    pub transit: f64,
+    /// Per-circuit carried load, Mbps, keyed by the circuit's router
+    /// endpoints.
+    pub l2_load: BTreeMap<(SpeakerId, SpeakerId), f64>,
+    /// Total transit egress volume, Mbps.
+    pub transit_mbps: f64,
+    /// Mean utilisation of the L2 commit across circuits (the
+    /// cold-potato-pays-for-the-circuits effect).
+    pub l2_commit_utilization: f64,
+}
+
+impl CostBreakdown {
+    /// Total monthly cost.
+    pub fn total(&self) -> f64 {
+        self.fixed + self.l2 + self.transit
+    }
+
+    /// Cost per routed Mbps — the economies-of-scale headline.
+    pub fn per_mbps(&self) -> f64 {
+        self.total() / self.routed_mbps.max(1e-9)
+    }
+}
+
+/// Routes `demands` through the overlay and prices the deployment.
+pub fn analyze(
+    vns: &Vns,
+    internet: &Internet,
+    model: &CostModel,
+    demands: &[Demand],
+) -> CostBreakdown {
+    let mut l2_load: BTreeMap<(SpeakerId, SpeakerId), f64> = BTreeMap::new();
+    let mut transit_mbps = 0.0;
+    let mut routed = 0.0;
+
+    for d in demands {
+        let Ok(path) = vns.media_path(internet, d.caller, d.callee) else {
+            continue;
+        };
+        routed += d.mbps;
+        // Attribute the call's bitrate to each dedicated circuit it rides
+        // (router pairs along the internal walk) and to the transit egress.
+        let mut hop_routers = path.routers.iter();
+        let mut prev = hop_routers.next().copied();
+        for r in hop_routers {
+            if let (Some(p), true) = (prev, vns.pop_of_router(*r).is_some()) {
+                if vns.pop_of_router(p).is_some() {
+                    let key = if p < *r { (p, *r) } else { (*r, p) };
+                    *l2_load.entry(key).or_default() += d.mbps;
+                }
+            }
+            prev = Some(*r);
+        }
+        // Media leaves VNS at the egress towards the callee: billed as
+        // transit when the first router outside VNS belongs to an upstream
+        // (settlement-free peer exits are free).
+        let first_external = path
+            .routers
+            .iter()
+            .find(|r| vns.pop_of_router(**r).is_none());
+        if let Some(ext) = first_external {
+            let is_upstream = internet
+                .as_of_speaker(*ext)
+                .is_some_and(|as_id| vns.upstreams().contains(&as_id));
+            if is_upstream {
+                transit_mbps += d.mbps;
+            }
+        }
+    }
+
+    // Price the circuits: every IGP edge between PoPs is a leased circuit
+    // billed at max(commit, carried) Mbps, weighted by length.
+    let igp = internet
+        .as_info(vns.as_id())
+        .igp
+        .as_ref()
+        .expect("VNS has an IGP");
+    let mut l2_cost = 0.0;
+    let mut commit_util_acc = 0.0;
+    let mut circuits = 0usize;
+    for (a, b, cost_km) in igp.edges() {
+        if cost_km <= 1 {
+            continue; // intra-PoP patch, not a leased circuit
+        }
+        let carried = l2_load.get(&(a.min(b), a.max(b))).copied().unwrap_or(0.0);
+        let billed = carried.max(model.l2_commit_mbps);
+        let km_factor = 1.0 + model.l2_km_factor_per_1000km * (cost_km as f64 / 1000.0);
+        l2_cost += billed * model.transit_per_mbps_base * model.l2_price_factor * km_factor;
+        commit_util_acc += (carried / model.l2_commit_mbps).min(1.0);
+        circuits += 1;
+    }
+
+    // Transit with economies of scale.
+    let unit = model.transit_per_mbps_base
+        * (transit_mbps.max(1.0)).powf(-model.transit_scale_discount);
+    let transit_cost = transit_mbps * unit;
+
+    let fixed = vns.pops().len() as f64 * (model.equipment_per_pop + model.hosting_per_pop)
+        + vns.peers().len() as f64 * model.peering_port;
+
+    CostBreakdown {
+        routed_mbps: routed,
+        fixed,
+        l2: l2_cost,
+        transit: transit_cost,
+        l2_load,
+        transit_mbps,
+        l2_commit_utilization: commit_util_acc / circuits.max(1) as f64,
+    }
+}
+
+/// Builds a call-demand matrix over the registered prefixes: `n` calls
+/// between prefix pairs (region-weighted by prefix density, which already
+/// reflects the paper's "most videoconferences involve parties in the same
+/// geographical region" through regional AS density), each at `mbps`.
+pub fn sample_demands(internet: &Internet, n: usize, mbps: f64, seed: u64) -> Vec<Demand> {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let prefixes: Vec<(u32, vns_geo::Region)> = internet
+        .prefixes()
+        .filter(|p| p.last_mile)
+        .map(|p| (p.prefix.first_host(), vns_geo::city(p.city).region))
+        .collect();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = prefixes[rng.gen_range(0..prefixes.len())];
+        // Paper: most calls are intra-regional; bias the callee choice.
+        let b = if rng.gen_bool(0.7) {
+            let same: Vec<_> = prefixes.iter().filter(|(_, r)| *r == a.1).collect();
+            *same[rng.gen_range(0..same.len())]
+        } else {
+            prefixes[rng.gen_range(0..prefixes.len())]
+        };
+        if a.0 == b.0 {
+            continue;
+        }
+        out.push(Demand {
+            caller: a.0,
+            callee: b.0,
+            mbps,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_vns, VnsConfig};
+    use vns_topo::{generate, TopoConfig};
+
+    fn world() -> (Internet, Vns) {
+        let mut internet = generate(&TopoConfig::tiny(61)).unwrap();
+        let vns = build_vns(&mut internet, &VnsConfig::default()).unwrap();
+        (internet, vns)
+    }
+
+    #[test]
+    fn analysis_routes_and_prices() {
+        let (internet, vns) = world();
+        let demands = sample_demands(&internet, 200, 4.0, 1);
+        let model = CostModel::default();
+        let cb = analyze(&vns, &internet, &model, &demands);
+        assert!(cb.routed_mbps > 0.5 * demands.len() as f64 * 4.0);
+        assert!(cb.fixed > 0.0 && cb.l2 > 0.0);
+        assert!(cb.total() > cb.l2, "total covers all components");
+        assert!(!cb.l2_load.is_empty(), "calls ride dedicated circuits");
+    }
+
+    #[test]
+    fn economies_of_scale() {
+        let (internet, vns) = world();
+        let model = CostModel::default();
+        let small = analyze(&vns, &internet, &model, &sample_demands(&internet, 60, 4.0, 2));
+        let big = analyze(&vns, &internet, &model, &sample_demands(&internet, 1200, 4.0, 2));
+        assert!(
+            big.per_mbps() < small.per_mbps() / 2.0,
+            "per-Mbps cost must fall with volume: small {} big {}",
+            small.per_mbps(),
+            big.per_mbps()
+        );
+    }
+
+    #[test]
+    fn l2_dominates_at_scale() {
+        // Paper: "the bulk of VNS overall cost lies in the use of the
+        // dedicated L2 links, and this cost factor remains significant also
+        // as the traffic volume increases".
+        let (internet, vns) = world();
+        let model = CostModel::default();
+        let cb = analyze(&vns, &internet, &model, &sample_demands(&internet, 2000, 4.0, 3));
+        assert!(
+            cb.l2 > cb.transit,
+            "L2 {} should dominate transit {}",
+            cb.l2,
+            cb.transit
+        );
+    }
+
+    #[test]
+    fn cold_potato_fills_the_circuits() {
+        // Geo routing carries traffic further inside VNS than hot potato,
+        // so the same demand uses the circuits more.
+        let mut internet_hot = generate(&TopoConfig::tiny(61)).unwrap();
+        let vns_hot = build_vns(&mut internet_hot, &VnsConfig::default().before()).unwrap();
+        let (internet_geo, vns_geo) = world();
+        let model = CostModel::default();
+        let d_geo = sample_demands(&internet_geo, 800, 4.0, 4);
+        let d_hot = sample_demands(&internet_hot, 800, 4.0, 4);
+        let geo = analyze(&vns_geo, &internet_geo, &model, &d_geo);
+        let hot = analyze(&vns_hot, &internet_hot, &model, &d_hot);
+        let carried = |cb: &CostBreakdown| cb.l2_load.values().sum::<f64>();
+        assert!(
+            carried(&geo) > carried(&hot),
+            "cold potato carries more on the circuits: geo {} hot {}",
+            carried(&geo),
+            carried(&hot)
+        );
+    }
+}

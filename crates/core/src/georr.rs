@@ -1,0 +1,228 @@
+//! The geo route-reflector hook — the paper's modified Quagga.
+//!
+//! Sec 3.2, "Basic operation": *"Our Quagga RR is modified to assign a
+//! local preference value to each route based on its geographic location.
+//! When it receives an update message from an egress router A concerning a
+//! network prefix p, it calculates the geographic distance d between A and
+//! p. … After calculating d, our route reflector computes the
+//! corresponding local preference lp as a function of d … The newly
+//! assigned local preference is always much higher than the default value
+//! of 100. Finally, it re-advertises the modified route to all neighbors
+//! except A."*
+//!
+//! [`GeoHook`] implements exactly that as an import hook on the reflector
+//! speakers: the egress router is the route's next hop (next-hop-self at
+//! ingress preserves it across iBGP), its location is known from the PoP
+//! map, and the prefix's location comes from the GeoIP database. The
+//! management overrides (Sec 3.2, "Overriding Geo-routing") are consulted
+//! first.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use vns_bgp::{ImportHook, Prefix, RouteAttrs, RouteSource, SpeakerId, DEFAULT_LOCAL_PREF};
+use vns_geo::{GeoIpDb, GeoPoint};
+
+use crate::lpfunc::LocalPrefFn;
+use crate::mgmt::Overrides;
+use crate::pops::PopId;
+
+/// LOCAL_PREF given to the forced egress PoP's routes.
+pub const FORCED_EXIT_PREF: u32 = 100_000;
+/// LOCAL_PREF given to every other egress when an exit is forced (still
+/// above default so hot-potato doesn't resurface through a stale route).
+pub const FORCED_OTHER_PREF: u32 = 150;
+
+/// The reflector's import transformation.
+#[derive(Debug, Clone)]
+pub struct GeoHook {
+    /// GeoIP view shared with the rest of the deployment.
+    geoip: Rc<GeoIpDb<Prefix>>,
+    /// Location of every VNS router.
+    router_locations: Rc<BTreeMap<SpeakerId, GeoPoint>>,
+    /// PoP of every VNS router (for forced exits).
+    router_pops: Rc<BTreeMap<SpeakerId, PopId>>,
+    /// The `f(d)` shape.
+    lp_fn: LocalPrefFn,
+    /// Live management overrides.
+    overrides: Rc<RefCell<Overrides>>,
+}
+
+impl GeoHook {
+    /// Builds a hook over shared deployment state.
+    pub fn new(
+        geoip: Rc<GeoIpDb<Prefix>>,
+        router_locations: Rc<BTreeMap<SpeakerId, GeoPoint>>,
+        router_pops: Rc<BTreeMap<SpeakerId, PopId>>,
+        lp_fn: LocalPrefFn,
+        overrides: Rc<RefCell<Overrides>>,
+    ) -> Self {
+        Self {
+            geoip,
+            router_locations,
+            router_pops,
+            lp_fn,
+            overrides,
+        }
+    }
+
+    /// The preference this hook would assign to a route for `prefix`
+    /// egressing at `router` (exposed for tests and diagnostics).
+    pub fn preference_for(&self, router: SpeakerId, prefix: Prefix) -> Option<u32> {
+        let loc = self.geoip.lookup(prefix).ok()?;
+        let rloc = self.router_locations.get(&router)?;
+        Some(self.lp_fn.compute(rloc.distance_km(&loc)))
+    }
+}
+
+impl ImportHook for GeoHook {
+    fn on_import(
+        &self,
+        _from: SpeakerId,
+        prefix: Prefix,
+        source: &RouteSource,
+        attrs: &mut RouteAttrs,
+    ) {
+        // Only routes arriving over iBGP from clients carry an egress to
+        // score; the reflectors have no eBGP sessions, but be explicit.
+        if !source.is_ibgp() {
+            return;
+        }
+        let overrides = self.overrides.borrow();
+        if overrides.is_exempt(&prefix) {
+            // Exempted from geo-routing: fall back to default preference,
+            // i.e. plain BGP behaviour (Sec 3.2: "exempting a prefix
+            // altogether from being geo-routed, in case it is spread
+            // globally").
+            attrs.local_pref = DEFAULT_LOCAL_PREF;
+            return;
+        }
+        if let Some(forced) = overrides.forced_exit(&prefix) {
+            let here = self.router_pops.get(&attrs.next_hop);
+            attrs.local_pref = if here == Some(&forced) {
+                FORCED_EXIT_PREF
+            } else {
+                FORCED_OTHER_PREF
+            };
+            return;
+        }
+        // Normal geo scoring. Prefixes missing from the GeoIP database
+        // keep their default preference (the paper's fallback).
+        if let Some(lp) = self.preference_for(attrs.next_hop, prefix) {
+            attrs.local_pref = lp;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vns_bgp::{Asn, Origin};
+    use vns_geo::cities::city_by_name;
+
+    fn loc(name: &str) -> GeoPoint {
+        city_by_name(name).unwrap().1.location
+    }
+
+    fn setup() -> (GeoHook, Prefix) {
+        let prefix: Prefix = "20.0.0.0/16".parse().unwrap();
+        let mut geoip = GeoIpDb::new();
+        geoip.insert(prefix, loc("Paris"), "FR");
+        let mut locations = BTreeMap::new();
+        locations.insert(SpeakerId(1), loc("Amsterdam"));
+        locations.insert(SpeakerId(2), loc("Singapore"));
+        let mut pops = BTreeMap::new();
+        pops.insert(SpeakerId(1), PopId(9));
+        pops.insert(SpeakerId(2), PopId(7));
+        let hook = GeoHook::new(
+            Rc::new(geoip),
+            Rc::new(locations),
+            Rc::new(pops),
+            LocalPrefFn::default(),
+            Rc::new(RefCell::new(Overrides::default())),
+        );
+        (hook, prefix)
+    }
+
+    fn attrs(next_hop: u32) -> RouteAttrs {
+        RouteAttrs {
+            local_pref: DEFAULT_LOCAL_PREF,
+            as_path: vec![Asn(7)],
+            origin: Origin::Igp,
+            med: 0,
+            communities: vec![],
+            next_hop: SpeakerId(next_hop),
+            originator_id: None,
+            cluster_list: vec![],
+        }
+    }
+
+    fn ibgp(from: u32) -> RouteSource {
+        RouteSource::Ibgp {
+            peer: SpeakerId(from),
+        }
+    }
+
+    #[test]
+    fn closer_egress_scores_higher() {
+        let (hook, prefix) = setup();
+        // Paris prefix: Amsterdam egress beats Singapore egress.
+        let mut a = attrs(1);
+        hook.on_import(SpeakerId(1), prefix, &ibgp(1), &mut a);
+        let mut b = attrs(2);
+        hook.on_import(SpeakerId(2), prefix, &ibgp(2), &mut b);
+        assert!(a.local_pref > b.local_pref, "{} vs {}", a.local_pref, b.local_pref);
+        assert!(b.local_pref > DEFAULT_LOCAL_PREF, "always above default");
+    }
+
+    #[test]
+    fn unknown_prefix_untouched() {
+        let (hook, _) = setup();
+        let other: Prefix = "99.0.0.0/16".parse().unwrap();
+        let mut a = attrs(1);
+        hook.on_import(SpeakerId(1), other, &ibgp(1), &mut a);
+        assert_eq!(a.local_pref, DEFAULT_LOCAL_PREF);
+    }
+
+    #[test]
+    fn ebgp_updates_ignored() {
+        let (hook, prefix) = setup();
+        let mut a = attrs(1);
+        hook.on_import(
+            SpeakerId(1),
+            prefix,
+            &RouteSource::Ebgp {
+                peer: SpeakerId(9),
+                peer_as: Asn(9),
+                relation: vns_bgp::Relation::Provider,
+            },
+            &mut a,
+        );
+        assert_eq!(a.local_pref, DEFAULT_LOCAL_PREF);
+    }
+
+    #[test]
+    fn exempt_prefix_reverts_to_default() {
+        let (hook, prefix) = setup();
+        hook.overrides.borrow_mut().exempt(prefix);
+        let mut a = attrs(1);
+        a.local_pref = 999;
+        hook.on_import(SpeakerId(1), prefix, &ibgp(1), &mut a);
+        assert_eq!(a.local_pref, DEFAULT_LOCAL_PREF);
+    }
+
+    #[test]
+    fn forced_exit_dominates_geography() {
+        let (hook, prefix) = setup();
+        // Force the Paris prefix out of Singapore (PoP 7).
+        hook.overrides.borrow_mut().force_exit(prefix, PopId(7));
+        let mut ams = attrs(1);
+        hook.on_import(SpeakerId(1), prefix, &ibgp(1), &mut ams);
+        let mut sin = attrs(2);
+        hook.on_import(SpeakerId(2), prefix, &ibgp(2), &mut sin);
+        assert_eq!(sin.local_pref, FORCED_EXIT_PREF);
+        assert_eq!(ams.local_pref, FORCED_OTHER_PREF);
+        assert!(sin.local_pref > ams.local_pref);
+    }
+}

@@ -1,0 +1,120 @@
+//! The LOCAL_PREF-from-distance function `lp = f(d)`.
+//!
+//! The paper only constrains `f`: decreasing in `d`, and "always much
+//! higher than the default value of 100". The concrete shape is an
+//! operator choice, so we implement three and ablate them
+//! (`vns-bench ablate-lp`): fine-grained banded linear (default), inverse,
+//! and coarse steps. Coarser bands create more ties, which then fall
+//! through to the later decision steps — the ablation quantifies how much
+//! egress precision that costs.
+
+/// Half the Earth's circumference — an upper bound on great-circle
+/// distance, km.
+const MAX_DISTANCE_KM: f64 = 20_040.0;
+
+/// The distance-to-preference function installed on the route reflectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalPrefFn {
+    /// `lp = floor + (MAX - d) / band_km`: one preference level per
+    /// `band_km` of distance. The default (25 km bands) is effectively
+    /// continuous at inter-PoP scales.
+    BandedLinear {
+        /// Preference at the antipode (must stay ≫ 100).
+        floor: u32,
+        /// Width of one preference band, km.
+        band_km: f64,
+    },
+    /// `lp = floor + scale / (d + 100)`: compresses differences at long
+    /// range.
+    Inverse {
+        /// Preference floor.
+        floor: u32,
+        /// Numerator, km-preference units.
+        scale: f64,
+    },
+    /// Coarse regional steps: <1000 km, <3000, <6000, <10000, beyond.
+    Stepped,
+}
+
+impl Default for LocalPrefFn {
+    fn default() -> Self {
+        LocalPrefFn::BandedLinear {
+            floor: 1_000,
+            band_km: 25.0,
+        }
+    }
+}
+
+impl LocalPrefFn {
+    /// Computes `lp` for a distance in km. Guaranteed `> 100` (the BGP
+    /// default) for any non-negative distance.
+    pub fn compute(&self, d_km: f64) -> u32 {
+        let d = d_km.clamp(0.0, MAX_DISTANCE_KM);
+        match self {
+            LocalPrefFn::BandedLinear { floor, band_km } => {
+                floor + ((MAX_DISTANCE_KM - d) / band_km.max(1.0)) as u32
+            }
+            LocalPrefFn::Inverse { floor, scale } => floor + (scale / (d + 100.0)) as u32,
+            LocalPrefFn::Stepped => match d as u32 {
+                0..=999 => 1_500,
+                1_000..=2_999 => 1_400,
+                3_000..=5_999 => 1_300,
+                6_000..=9_999 => 1_200,
+                _ => 1_100,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns() -> Vec<LocalPrefFn> {
+        vec![
+            LocalPrefFn::default(),
+            LocalPrefFn::Inverse {
+                floor: 1_000,
+                scale: 2_000_000.0,
+            },
+            LocalPrefFn::Stepped,
+        ]
+    }
+
+    #[test]
+    fn always_far_above_default() {
+        for f in fns() {
+            for d in [0.0, 500.0, 5_000.0, 20_040.0, 1e9] {
+                assert!(f.compute(d) > 100, "{f:?} at {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        for f in fns() {
+            let mut prev = u32::MAX;
+            for i in 0..200 {
+                let lp = f.compute(i as f64 * 100.0);
+                assert!(lp <= prev, "{f:?} not monotone at {i}");
+                prev = lp;
+            }
+        }
+    }
+
+    #[test]
+    fn nearer_strictly_preferred_at_pop_scale() {
+        // Distances of distinct PoPs to a prefix differ by hundreds of km;
+        // the default function must distinguish them.
+        let f = LocalPrefFn::default();
+        assert!(f.compute(300.0) > f.compute(900.0));
+        assert!(f.compute(6_000.0) > f.compute(9_000.0));
+    }
+
+    #[test]
+    fn negative_and_huge_clamped() {
+        let f = LocalPrefFn::default();
+        assert_eq!(f.compute(-5.0), f.compute(0.0));
+        assert_eq!(f.compute(1e12), f.compute(MAX_DISTANCE_KM));
+    }
+}

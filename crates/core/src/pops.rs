@@ -1,0 +1,164 @@
+//! The 11 points of presence and the dedicated L2 topology.
+//!
+//! PoP ids are chosen so the figures line up with the paper's: Fig 4 names
+//! PoPs 3 and 5 as US east coast, 7 as AP, 9 as EU and 10 as London.
+
+use vns_geo::cities::city_by_name;
+use vns_geo::{CityId, PopRegion};
+
+/// A PoP identifier (1-based, matching the paper's Fig 4 axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PopId(pub u8);
+
+impl std::fmt::Display for PopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoP{}", self.0)
+    }
+}
+
+/// Regional cluster (PoPs inside one are fully L2-meshed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClusterId {
+    /// North America.
+    Na,
+    /// Europe.
+    Eu,
+    /// Asia-Pacific.
+    Ap,
+    /// Oceania.
+    Oc,
+}
+
+/// Static description of one PoP.
+#[derive(Debug, Clone, Copy)]
+pub struct PopSpec {
+    /// Paper-aligned id.
+    pub id: PopId,
+    /// Short name used in the paper's Fig 11 (ATL, ASH, SJS, AMS, FRA,
+    /// LON, OSL, HK, SIN, SYD) plus SEA.
+    pub code: &'static str,
+    /// City (must exist in the `vns-geo` table).
+    pub city_name: &'static str,
+    /// PoP region (Sec 4.4's EU/US/AP/OC split).
+    pub region: PopRegion,
+    /// Cluster membership.
+    pub cluster: ClusterId,
+}
+
+/// Number of PoPs ("currently, there are 11 PoPs on four continents").
+pub const POP_COUNT: usize = 11;
+
+/// The deployment map.
+pub const POP_SPECS: [PopSpec; POP_COUNT] = [
+    PopSpec { id: PopId(1), code: "SJS", city_name: "SanJose", region: PopRegion::Us, cluster: ClusterId::Na },
+    PopSpec { id: PopId(2), code: "SEA", city_name: "Seattle", region: PopRegion::Us, cluster: ClusterId::Na },
+    PopSpec { id: PopId(3), code: "ATL", city_name: "Atlanta", region: PopRegion::Us, cluster: ClusterId::Na },
+    PopSpec { id: PopId(4), code: "OSL", city_name: "Oslo", region: PopRegion::Eu, cluster: ClusterId::Eu },
+    PopSpec { id: PopId(5), code: "ASH", city_name: "Ashburn", region: PopRegion::Us, cluster: ClusterId::Na },
+    PopSpec { id: PopId(6), code: "FRA", city_name: "Frankfurt", region: PopRegion::Eu, cluster: ClusterId::Eu },
+    PopSpec { id: PopId(7), code: "SIN", city_name: "Singapore", region: PopRegion::Ap, cluster: ClusterId::Ap },
+    PopSpec { id: PopId(8), code: "HKG", city_name: "HongKong", region: PopRegion::Ap, cluster: ClusterId::Ap },
+    PopSpec { id: PopId(9), code: "AMS", city_name: "Amsterdam", region: PopRegion::Eu, cluster: ClusterId::Eu },
+    PopSpec { id: PopId(10), code: "LON", city_name: "London", region: PopRegion::Eu, cluster: ClusterId::Eu },
+    PopSpec { id: PopId(11), code: "SYD", city_name: "Sydney", region: PopRegion::Oc, cluster: ClusterId::Oc },
+];
+
+/// Long-haul inter-cluster L2 circuits (by PoP id pairs): the transatlantic
+/// LON–ASH, transpacific SJS–HKG, and Singapore's direct legs to the US,
+/// Europe and Australia (Sec 4.3 credits Singapore's latency wins to
+/// exactly these).
+pub const INTER_CLUSTER_LINKS: [(PopId, PopId); 5] = [
+    (PopId(10), PopId(5)), // LON–ASH
+    (PopId(1), PopId(8)),  // SJS–HKG
+    (PopId(7), PopId(1)),  // SIN–SJS
+    (PopId(7), PopId(9)),  // SIN–AMS
+    (PopId(7), PopId(11)), // SIN–SYD
+];
+
+/// A built PoP: spec plus its concrete routers.
+#[derive(Debug, Clone)]
+pub struct Pop {
+    /// Static description.
+    pub spec: PopSpec,
+    /// Resolved city id.
+    pub city: CityId,
+    /// The PoP's border routers (router 0 holds the upstream transit
+    /// sessions, router 1 the IXP peering sessions).
+    pub borders: [vns_bgp::SpeakerId; 2],
+}
+
+impl Pop {
+    /// Paper-aligned id.
+    pub fn id(&self) -> PopId {
+        self.spec.id
+    }
+
+    /// Short code (e.g. `"AMS"`).
+    pub fn code(&self) -> &'static str {
+        self.spec.code
+    }
+
+    /// Geographic location.
+    pub fn location(&self) -> vns_geo::GeoPoint {
+        vns_geo::city(self.city).location
+    }
+}
+
+/// Resolves a spec's city id.
+pub fn resolve_city(spec: &PopSpec) -> CityId {
+    city_by_name(spec.city_name)
+        .unwrap_or_else(|| panic!("PoP city {} missing from city table", spec.city_name))
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_pops_on_four_continents() {
+        assert_eq!(POP_SPECS.len(), 11);
+        let clusters: std::collections::BTreeSet<_> =
+            POP_SPECS.iter().map(|p| p.cluster).collect();
+        assert_eq!(clusters.len(), 4);
+    }
+
+    #[test]
+    fn paper_figure_alignment() {
+        // Fig 4: "PoPs 3 and 5 are located in the US east coast, PoP 7 is
+        // located in AP, while PoP 9 is located in EU" and PoP 10 = London.
+        let by_id = |i: u8| POP_SPECS.iter().find(|p| p.id == PopId(i)).unwrap();
+        assert_eq!(by_id(3).code, "ATL");
+        assert_eq!(by_id(5).code, "ASH");
+        assert_eq!(by_id(7).region, PopRegion::Ap);
+        assert_eq!(by_id(9).region, PopRegion::Eu);
+        assert_eq!(by_id(10).city_name, "London");
+    }
+
+    #[test]
+    fn cities_resolve() {
+        for spec in &POP_SPECS {
+            let c = resolve_city(spec);
+            let city = vns_geo::city(c);
+            assert_eq!(city.name, spec.city_name);
+        }
+    }
+
+    #[test]
+    fn inter_cluster_links_cross_clusters() {
+        let cluster_of = |id: PopId| POP_SPECS.iter().find(|p| p.id == id).unwrap().cluster;
+        for (a, b) in INTER_CLUSTER_LINKS {
+            assert_ne!(cluster_of(a), cluster_of(b), "{a}–{b} must cross clusters");
+        }
+    }
+
+    #[test]
+    fn singapore_has_three_long_haul_legs() {
+        let sin = PopId(7);
+        let n = INTER_CLUSTER_LINKS
+            .iter()
+            .filter(|(a, b)| *a == sin || *b == sin)
+            .count();
+        assert_eq!(n, 3, "SIN–US, SIN–EU, SIN–AU");
+    }
+}

@@ -1,0 +1,361 @@
+//! The running VNS service: egress analysis, path resolution via VNS or
+//! via raw transit, and the anycast relay service.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use vns_bgp::{Asn, PathError, Prefix, RouteSource, SpeakerId};
+use vns_geo::{city, CityId, GeoPoint};
+use vns_topo::path::{resolve_from_prefix, resolve_path, HopKind, ResolvedHop};
+use vns_topo::{AsId, Internet, ResolvedPath};
+
+use crate::config::RoutingMode;
+use crate::mgmt::Overrides;
+use crate::pops::{Pop, PopId};
+
+/// One echo server deployment (Sec 5.1: "SIP media servers programmed to
+/// stream back any incoming video stream").
+#[derive(Debug, Clone, Copy)]
+pub struct EchoServer {
+    /// Its service prefix.
+    pub prefix: Prefix,
+    /// The PoP hosting it.
+    pub pop: PopId,
+}
+
+impl EchoServer {
+    /// The address media is sent to.
+    pub fn address(&self) -> u32 {
+        self.prefix.first_host()
+    }
+}
+
+/// A built VNS deployment (see [`crate::build_vns`]).
+#[derive(Debug)]
+pub struct Vns {
+    as_id: AsId,
+    asn: Asn,
+    mode: RoutingMode,
+    pops: Vec<Pop>,
+    rrs: [SpeakerId; 2],
+    upstreams: Vec<AsId>,
+    pop_upstream: BTreeMap<PopId, (AsId, CityId)>,
+    peers: Vec<AsId>,
+    anycast_prefix: Prefix,
+    echo_servers: Vec<EchoServer>,
+    overrides: Rc<RefCell<Overrides>>,
+    router_pop: Rc<BTreeMap<SpeakerId, PopId>>,
+    message_budget: u64,
+}
+
+impl Vns {
+    /// Internal constructor used by the builder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        as_id: AsId,
+        asn: Asn,
+        mode: RoutingMode,
+        pops: Vec<Pop>,
+        rrs: [SpeakerId; 2],
+        upstreams: Vec<AsId>,
+        pop_upstream: BTreeMap<PopId, (AsId, CityId)>,
+        peers: Vec<AsId>,
+        anycast_prefix: Prefix,
+        echo_servers: Vec<EchoServer>,
+        overrides: Rc<RefCell<Overrides>>,
+        router_pop: Rc<BTreeMap<SpeakerId, PopId>>,
+        message_budget: u64,
+    ) -> Self {
+        Self {
+            as_id,
+            asn,
+            mode,
+            pops,
+            rrs,
+            upstreams,
+            pop_upstream,
+            peers,
+            anycast_prefix,
+            echo_servers,
+            overrides,
+            router_pop,
+            message_budget,
+        }
+    }
+
+    /// The VNS AS id in the Internet registry.
+    pub fn as_id(&self) -> AsId {
+        self.as_id
+    }
+
+    /// The VNS AS number.
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// Routing mode this deployment was built with.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// All PoPs in id order.
+    pub fn pops(&self) -> &[Pop] {
+        &self.pops
+    }
+
+    /// PoP by id.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn pop(&self, id: PopId) -> &Pop {
+        self.pops
+            .iter()
+            .find(|p| p.id() == id)
+            .unwrap_or_else(|| panic!("unknown {id}"))
+    }
+
+    /// PoP by short code (`"AMS"`, `"SJS"`, …).
+    pub fn pop_by_code(&self, code: &str) -> Option<&Pop> {
+        self.pops.iter().find(|p| p.code() == code)
+    }
+
+    /// The two route reflectors.
+    pub fn reflectors(&self) -> [SpeakerId; 2] {
+        self.rrs
+    }
+
+    /// Upstream transit providers, most-preferred first ("upstream 1" of
+    /// Fig 5 is index 0).
+    pub fn upstreams(&self) -> &[AsId] {
+        &self.upstreams
+    }
+
+    /// ASes VNS peers with.
+    pub fn peers(&self) -> &[AsId] {
+        &self.peers
+    }
+
+    /// A PoP's primary upstream and the city where that transit port
+    /// lands.
+    pub fn primary_upstream(&self, pop: PopId) -> (AsId, CityId) {
+        self.pop_upstream[&pop]
+    }
+
+    /// The anycast TURN relay address.
+    pub fn anycast_address(&self) -> u32 {
+        self.anycast_prefix.first_host()
+    }
+
+    /// The anycast prefix.
+    pub fn anycast_prefix(&self) -> Prefix {
+        self.anycast_prefix
+    }
+
+    /// Echo server deployments.
+    pub fn echo_servers(&self) -> &[EchoServer] {
+        &self.echo_servers
+    }
+
+    /// Live management override table (shared with the reflectors' hook).
+    pub fn overrides(&self) -> &Rc<RefCell<Overrides>> {
+        &self.overrides
+    }
+
+    /// Message budget for reconvergence runs.
+    pub fn message_budget(&self) -> u64 {
+        self.message_budget
+    }
+
+    /// The PoP a VNS router belongs to.
+    pub fn pop_of_router(&self, router: SpeakerId) -> Option<PopId> {
+        self.router_pop.get(&router).copied()
+    }
+
+    /// The geographically nearest PoP to a location.
+    pub fn nearest_pop(&self, loc: GeoPoint) -> PopId {
+        self.pops
+            .iter()
+            .min_by(|a, b| {
+                a.location()
+                    .distance_km(&loc)
+                    .partial_cmp(&b.location().distance_km(&loc))
+                    .expect("finite")
+            })
+            .expect("pops non-empty")
+            .id()
+    }
+
+    /// From PoP `from`'s perspective, the egress PoP its best route to
+    /// `dst_ip` uses (the Fig 4 metric). `None` when no route.
+    pub fn egress_pop(&self, internet: &Internet, from: PopId, dst_ip: u32) -> Option<PopId> {
+        let border = self.pop(from).borders[0];
+        let speaker = internet.net.speaker(border)?;
+        let (_, cand) = speaker.lookup(dst_ip)?;
+        match cand.source {
+            RouteSource::Ebgp { .. } | RouteSource::Local => Some(from),
+            RouteSource::Ibgp { .. } => self.pop_of_router(cand.attrs.next_hop),
+        }
+    }
+
+    /// The neighbouring AS the selected route exits through, from PoP
+    /// `from`'s perspective (the Fig 5 metric). `None` for VNS-internal
+    /// destinations or missing routes.
+    pub fn exit_neighbor(&self, internet: &Internet, from: PopId, dst_ip: u32) -> Option<Asn> {
+        let border = self.pop(from).borders[0];
+        let speaker = internet.net.speaker(border)?;
+        let (_, cand) = speaker.lookup(dst_ip)?;
+        match cand.source {
+            RouteSource::Local => None,
+            RouteSource::Ebgp { peer_as, .. } => Some(peer_as),
+            RouteSource::Ibgp { .. } => {
+                // Ask the egress router which eBGP neighbour it selected.
+                let egress = cand.attrs.next_hop;
+                let es = internet.net.speaker(egress)?;
+                let (_, ecand) = es.lookup(dst_ip)?;
+                match ecand.source {
+                    RouteSource::Ebgp { peer_as, .. } => Some(peer_as),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Resolves the data-plane path from PoP `from` to `dst_ip` *through
+    /// VNS routing* (internal L2 to the selected egress, then the
+    /// Internet).
+    pub fn path_via_vns(
+        &self,
+        internet: &Internet,
+        from: PopId,
+        dst_ip: u32,
+    ) -> Result<ResolvedPath, PathError> {
+        let pop = self.pop(from);
+        resolve_path(internet, pop.borders[0], pop.city, dst_ip)
+    }
+
+    /// Resolves the data-plane path from PoP `from` to `dst_ip` leaving
+    /// immediately through the PoP's primary upstream (the paper's
+    /// "probes are forced out of VNS immediately at each PoP" and the
+    /// "through upstreams" arm of every comparison).
+    pub fn path_via_upstream(
+        &self,
+        internet: &Internet,
+        from: PopId,
+        dst_ip: u32,
+    ) -> Result<ResolvedPath, PathError> {
+        let pop = self.pop(from);
+        let (up_as, entry_city) = self.pop_upstream[&from];
+        let info = internet.as_info(up_as);
+        let up_sp = internet
+            .router_of(up_as, entry_city)
+            .expect("upstream has routers");
+        // Access leg: PoP city to the transit port. Same-metro for every
+        // PoP except the London misconfiguration, where the port is in
+        // Ashburn and the leg is a shared long-haul circuit.
+        let km = Internet::city_km(pop.city, entry_city).max(1.0);
+        let access = ResolvedHop {
+            kind: HopKind::InterAs {
+                region: city(entry_city).region,
+            },
+            from_city: pop.city,
+            to_city: entry_city,
+            km,
+            label: format!("transit-port:{}:{}@{}", self.asn, info.asn, city(entry_city).name),
+        };
+        let mut rest = resolve_path(internet, up_sp, entry_city, dst_ip)?;
+        let mut hops = vec![access];
+        hops.append(&mut rest.hops);
+        let mut routers = vec![pop.borders[0]];
+        routers.append(&mut rest.routers);
+        Ok(ResolvedPath { hops, routers })
+    }
+
+    /// Resolves the path from PoP `from` to `dst_ip`, leaving through the
+    /// PoP's best *local* external route — peer sessions included. This is
+    /// the paper's "probes are forced out of VNS immediately at each PoP"
+    /// (Secs 4.1 and 5.2): no VNS circuit is used, but the PoP's whole
+    /// local table is.
+    pub fn path_via_local_exit(
+        &self,
+        internet: &Internet,
+        from: PopId,
+        dst_ip: u32,
+    ) -> Result<ResolvedPath, PathError> {
+        let pop = self.pop(from);
+        // Best eBGP-learned candidate across the PoP's border routers.
+        let mut best: Option<(vns_bgp::Candidate, SpeakerId)> = None;
+        let ctx = vns_bgp::DecisionContext::no_igp();
+        for b in pop.borders {
+            let Some(sp) = internet.net.speaker(b) else { continue };
+            let Some((covering, _)) = sp.lookup(dst_ip) else { continue };
+            let Some(c) = sp.best_external_route(&covering) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some((cur, _)) => {
+                    vns_bgp::compare_routes(c, cur, &ctx) == std::cmp::Ordering::Greater
+                }
+            };
+            if better {
+                best = Some((c.clone(), b));
+            }
+        }
+        let (cand, border) =
+            best.ok_or(PathError::NoRoute(pop.borders[0]))?;
+        let RouteSource::Ebgp { peer, .. } = cand.source else {
+            return Err(PathError::NoRoute(border));
+        };
+        // Exit over that session's interconnect.
+        let links = internet.links_between(border, peer);
+        let &(near, far) = links.first().ok_or(PathError::NoRoute(border))?;
+        let mut hops = Vec::new();
+        hops.push(ResolvedHop {
+            kind: HopKind::InterAs {
+                region: city(far).region,
+            },
+            from_city: near,
+            to_city: far,
+            km: Internet::city_km(near, far).max(1.0),
+            label: format!("exit:{}:{}@{}", self.asn, peer, city(far).name),
+        });
+        let mut rest = resolve_path(internet, peer, far, dst_ip)?;
+        hops.append(&mut rest.hops);
+        let mut routers = vec![border];
+        routers.append(&mut rest.routers);
+        Ok(ResolvedPath { hops, routers })
+    }
+
+    /// Where a service request from a host in `src_ip`'s prefix lands:
+    /// resolves the path to the anycast relay address and reports the
+    /// receiving PoP (the Fig 7 measurement).
+    pub fn anycast_landing(
+        &self,
+        internet: &Internet,
+        src_ip: u32,
+    ) -> Result<(PopId, ResolvedPath), PathError> {
+        let path = resolve_from_prefix(internet, src_ip, self.anycast_address())?;
+        let last = *path.routers.last().expect("non-empty path");
+        let pop = self
+            .pop_of_router(last)
+            .ok_or(PathError::NoRoute(last))?;
+        Ok((pop, path))
+    }
+
+    /// The media path for a relayed call: caller's last mile → ingress
+    /// relay PoP (anycast) → VNS internal → egress PoP nearest the callee
+    /// → callee. Returns the concatenated resolved path.
+    pub fn media_path(
+        &self,
+        internet: &Internet,
+        caller_ip: u32,
+        callee_ip: u32,
+    ) -> Result<ResolvedPath, PathError> {
+        let (ingress, mut first) = self.anycast_landing(internet, caller_ip)?;
+        let rest = self.path_via_vns(internet, ingress, callee_ip)?;
+        first.hops.extend(rest.hops);
+        first.routers.extend(rest.routers.into_iter().skip(1));
+        Ok(first)
+    }
+}

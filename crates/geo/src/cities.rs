@@ -1,0 +1,271 @@
+//! Embedded world-city table.
+//!
+//! The topology generator places ASes, IXPs, prefixes and VNS PoPs in real
+//! cities so that great-circle distances — and therefore propagation delays
+//! and the geo-routing decisions built on them — are realistic. The table
+//! covers every region the paper measures, with extra density in the three
+//! regions hosting VNS PoPs (EU, NA, AP/OC) and the two countries whose
+//! GeoIP pathologies the paper documents (Russia, India).
+
+use crate::coords::GeoPoint;
+use crate::region::Region;
+
+/// Index into the global city table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CityId(pub u16);
+
+/// A city entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct City {
+    /// Short unique name (ASCII, no spaces).
+    pub name: &'static str,
+    /// ISO 3166-1 alpha-2 country code.
+    pub country: &'static str,
+    /// World region.
+    pub region: Region,
+    /// Coordinates.
+    pub location: GeoPoint,
+    /// Whether a major Internet exchange is modelled here (candidate
+    /// peering/IXP site for the topology generator).
+    pub major_hub: bool,
+}
+
+macro_rules! c {
+    ($name:expr, $cc:expr, $region:ident, $lat:expr, $lon:expr, $hub:expr) => {
+        City {
+            name: $name,
+            country: $cc,
+            region: Region::$region,
+            location: GeoPoint {
+                lat_deg: $lat,
+                lon_deg: $lon,
+            },
+            major_hub: $hub,
+        }
+    };
+}
+
+/// The global city table. Order is stable; [`CityId`] indexes into it.
+pub static CITIES: &[City] = &[
+    // --- Europe ---
+    c!("Amsterdam", "NL", Europe, 52.3676, 4.9041, true),
+    c!("London", "GB", Europe, 51.5074, -0.1278, true),
+    c!("Frankfurt", "DE", Europe, 50.1109, 8.6821, true),
+    c!("Oslo", "NO", Europe, 59.9139, 10.7522, true),
+    c!("Paris", "FR", Europe, 48.8566, 2.3522, true),
+    c!("Stockholm", "SE", Europe, 59.3293, 18.0686, true),
+    c!("Madrid", "ES", Europe, 40.4168, -3.7038, false),
+    c!("Milan", "IT", Europe, 45.4642, 9.19, true),
+    c!("Vienna", "AT", Europe, 48.2082, 16.3738, true),
+    c!("Warsaw", "PL", Europe, 52.2297, 21.0122, false),
+    c!("Zurich", "CH", Europe, 47.3769, 8.5417, false),
+    c!("Copenhagen", "DK", Europe, 55.6761, 12.5683, false),
+    c!("Dublin", "IE", Europe, 53.3498, -6.2603, false),
+    c!("Helsinki", "FI", Europe, 60.1699, 24.9384, false),
+    c!("Brussels", "BE", Europe, 50.8503, 4.3517, false),
+    c!("Prague", "CZ", Europe, 50.0755, 14.4378, false),
+    c!("Budapest", "HU", Europe, 47.4979, 19.0402, false),
+    c!("Bucharest", "RO", Europe, 44.4268, 26.1025, false),
+    c!("Athens", "GR", Europe, 37.9838, 23.7275, false),
+    c!("Lisbon", "PT", Europe, 38.7223, -9.1393, false),
+    c!("Kyiv", "UA", Europe, 50.4501, 30.5234, false),
+    c!("Moscow", "RU", Europe, 55.7558, 37.6173, false),
+    c!("StPetersburg", "RU", Europe, 59.9311, 30.3609, false),
+    c!("Novosibirsk", "RU", AsiaPacific, 55.0084, 82.9357, false),
+    c!("Yekaterinburg", "RU", Europe, 56.8389, 60.6057, false),
+    c!("Istanbul", "TR", Europe, 41.0082, 28.9784, false),
+    // --- North & Central America ---
+    c!("NewYork", "US", NorthAmerica, 40.7128, -74.006, true),
+    c!("Ashburn", "US", NorthAmerica, 39.0438, -77.4874, true),
+    c!("Atlanta", "US", NorthAmerica, 33.749, -84.388, true),
+    c!("Miami", "US", NorthAmerica, 25.7617, -80.1918, true),
+    c!("Chicago", "US", NorthAmerica, 41.8781, -87.6298, true),
+    c!("Dallas", "US", NorthAmerica, 32.7767, -96.797, true),
+    c!("Denver", "US", NorthAmerica, 39.7392, -104.9903, false),
+    c!("LosAngeles", "US", NorthAmerica, 34.0522, -118.2437, true),
+    c!("SanJose", "US", NorthAmerica, 37.3382, -121.8863, true),
+    c!("Seattle", "US", NorthAmerica, 47.6062, -122.3321, true),
+    c!("Boston", "US", NorthAmerica, 42.3601, -71.0589, false),
+    c!("Phoenix", "US", NorthAmerica, 33.4484, -112.074, false),
+    c!("Houston", "US", NorthAmerica, 29.7604, -95.3698, false),
+    c!("Minneapolis", "US", NorthAmerica, 44.9778, -93.265, false),
+    c!("Toronto", "CA", NorthAmerica, 43.6532, -79.3832, true),
+    c!("Montreal", "CA", NorthAmerica, 45.5017, -73.5673, false),
+    c!("Vancouver", "CA", NorthAmerica, 49.2827, -123.1207, false),
+    c!("MexicoCity", "MX", NorthAmerica, 19.4326, -99.1332, false),
+    c!("PanamaCity", "PA", NorthAmerica, 8.9824, -79.5199, false),
+    // --- South America ---
+    c!("SaoPaulo", "BR", SouthAmerica, -23.5505, -46.6333, true),
+    c!("RioDeJaneiro", "BR", SouthAmerica, -22.9068, -43.1729, false),
+    c!("BuenosAires", "AR", SouthAmerica, -34.6037, -58.3816, false),
+    c!("Santiago", "CL", SouthAmerica, -33.4489, -70.6693, false),
+    c!("Bogota", "CO", SouthAmerica, 4.711, -74.0721, false),
+    c!("Lima", "PE", SouthAmerica, -12.0464, -77.0428, false),
+    // --- Asia Pacific ---
+    c!("Singapore", "SG", AsiaPacific, 1.3521, 103.8198, true),
+    c!("HongKong", "HK", AsiaPacific, 22.3193, 114.1694, true),
+    c!("Tokyo", "JP", AsiaPacific, 35.6762, 139.6503, true),
+    c!("Osaka", "JP", AsiaPacific, 34.6937, 135.5023, false),
+    c!("Seoul", "KR", AsiaPacific, 37.5665, 126.978, true),
+    c!("Taipei", "TW", AsiaPacific, 25.033, 121.5654, false),
+    c!("Shanghai", "CN", AsiaPacific, 31.2304, 121.4737, false),
+    c!("Beijing", "CN", AsiaPacific, 39.9042, 116.4074, false),
+    c!("Guangzhou", "CN", AsiaPacific, 23.1291, 113.2644, false),
+    c!("Mumbai", "IN", AsiaPacific, 19.076, 72.8777, true),
+    c!("Delhi", "IN", AsiaPacific, 28.7041, 77.1025, false),
+    c!("Bangalore", "IN", AsiaPacific, 12.9716, 77.5946, false),
+    c!("Chennai", "IN", AsiaPacific, 13.0827, 80.2707, false),
+    c!("KualaLumpur", "MY", AsiaPacific, 3.139, 101.6869, false),
+    c!("Jakarta", "ID", AsiaPacific, -6.2088, 106.8456, false),
+    c!("Bangkok", "TH", AsiaPacific, 13.7563, 100.5018, false),
+    c!("Manila", "PH", AsiaPacific, 14.5995, 120.9842, false),
+    c!("HoChiMinh", "VN", AsiaPacific, 10.8231, 106.6297, false),
+    c!("Karachi", "PK", AsiaPacific, 24.8607, 67.0011, false),
+    c!("Dhaka", "BD", AsiaPacific, 23.8103, 90.4125, false),
+    c!("Colombo", "LK", AsiaPacific, 6.9271, 79.8612, false),
+    // --- Oceania ---
+    c!("Sydney", "AU", Oceania, -33.8688, 151.2093, true),
+    c!("Melbourne", "AU", Oceania, -37.8136, 144.9631, false),
+    c!("Brisbane", "AU", Oceania, -27.4698, 153.0251, false),
+    c!("Perth", "AU", Oceania, -31.9505, 115.8605, false),
+    c!("Auckland", "NZ", Oceania, -36.8509, 174.7645, false),
+    c!("Wellington", "NZ", Oceania, -41.2865, 174.7762, false),
+    // --- Middle East ---
+    c!("Dubai", "AE", MiddleEast, 25.2048, 55.2708, true),
+    c!("TelAviv", "IL", MiddleEast, 32.0853, 34.7818, false),
+    c!("Riyadh", "SA", MiddleEast, 24.7136, 46.6753, false),
+    c!("Doha", "QA", MiddleEast, 25.2854, 51.531, false),
+    c!("Amman", "JO", MiddleEast, 31.9454, 35.9284, false),
+    c!("Tehran", "IR", MiddleEast, 35.6892, 51.389, false),
+    // --- Africa ---
+    c!("Johannesburg", "ZA", Africa, -26.2041, 28.0473, true),
+    c!("CapeTown", "ZA", Africa, -33.9249, 18.4241, false),
+    c!("Cairo", "EG", Africa, 30.0444, 31.2357, false),
+    c!("Lagos", "NG", Africa, 6.5244, 3.3792, false),
+    c!("Nairobi", "KE", Africa, -1.2921, 36.8219, false),
+    c!("Casablanca", "MA", Africa, 33.5731, -7.5898, false),
+];
+
+/// Returns the city with the given id.
+///
+/// # Panics
+/// Panics when the id is out of range; ids are only minted by this crate and
+/// the topology generator, so an out-of-range id is a logic error.
+pub fn city(id: CityId) -> &'static City {
+    &CITIES[id.0 as usize]
+}
+
+/// Returns the city with the given id, or `None` when out of range.
+pub fn city_opt(id: CityId) -> Option<&'static City> {
+    CITIES.get(id.0 as usize)
+}
+
+/// Looks a city up by name (exact match).
+pub fn city_by_name(name: &str) -> Option<(CityId, &'static City)> {
+    CITIES
+        .iter()
+        .enumerate()
+        .find(|(_, c)| c.name == name)
+        .map(|(i, c)| (CityId(i as u16), c))
+}
+
+/// All city ids in a region.
+pub fn cities_in_region(region: Region) -> Vec<CityId> {
+    CITIES
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.region == region)
+        .map(|(i, _)| CityId(i as u16))
+        .collect()
+}
+
+/// All city ids in a country.
+pub fn cities_in_country(country: &str) -> Vec<CityId> {
+    CITIES
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.country == country)
+        .map(|(i, _)| CityId(i as u16))
+        .collect()
+}
+
+/// Geographic centroid (naive lat/lon average) of a country's cities — the
+/// point a centroid-collapsing GeoIP database reports for that country.
+/// Returns `None` for unknown countries.
+pub fn country_centroid(country: &str) -> Option<GeoPoint> {
+    let ids = cities_in_country(country);
+    if ids.is_empty() {
+        return None;
+    }
+    let (mut lat, mut lon) = (0.0, 0.0);
+    for id in &ids {
+        let c = city(*id);
+        lat += c.location.lat_deg;
+        lon += c.location.lon_deg;
+    }
+    let n = ids.len() as f64;
+    Some(GeoPoint::new(lat / n, lon / n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> = CITIES.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), CITIES.len());
+    }
+
+    #[test]
+    fn coordinates_sane() {
+        for c in CITIES {
+            assert!(c.location.lat_deg.abs() <= 90.0, "{}", c.name);
+            assert!(c.location.lon_deg.abs() <= 180.0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn every_region_has_cities() {
+        for r in Region::ALL {
+            assert!(
+                !cities_in_region(r).is_empty(),
+                "region {r} has no cities"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (id, c) = city_by_name("Singapore").expect("Singapore present");
+        assert_eq!(c.country, "SG");
+        assert_eq!(city(id).name, "Singapore");
+        assert!(city_by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn russia_spans_regions() {
+        // The paper's centroid-collapse pathology relies on Russia spanning
+        // Europe and Asia; the table must reflect that.
+        let ru = cities_in_country("RU");
+        assert!(ru.len() >= 3);
+        let regions: std::collections::HashSet<_> =
+            ru.iter().map(|id| city(*id).region).collect();
+        assert!(regions.len() >= 2, "Russian cities must span >=2 regions");
+    }
+
+    #[test]
+    fn country_centroid_russia_is_interior() {
+        let c = country_centroid("RU").expect("RU centroid");
+        // Mean of Moscow/StPetersburg/Novosibirsk/Yekaterinburg lies well
+        // east of Moscow — the "centre of Russia" effect from the paper.
+        assert!(c.lon_deg > 45.0, "centroid should sit east of Moscow, got {c:?}");
+        assert!(country_centroid("XX").is_none());
+    }
+
+    #[test]
+    fn hub_density() {
+        let hubs = CITIES.iter().filter(|c| c.major_hub).count();
+        assert!(hubs >= 15, "need enough IXP candidate sites, got {hubs}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Positions on the sphere and great-circle geometry.
+//!
+//! The paper (Sec 3.2) computes "the shortest distance between two points
+//! that lie on a surface of a sphere, often referred to as the great-circle
+//! distance" — this module implements it with the haversine formula, which
+//! is numerically stable for the short intra-city distances the topology
+//! generator also needs.
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A point on the Earth's surface, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north, `-90.0..=90.0`.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east, `-180.0..=180.0`.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, normalising longitude into `(-180, 180]` and
+    /// clamping latitude into `[-90, 90]`.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        let lat = lat_deg.clamp(-90.0, 90.0);
+        let mut lon = lon_deg % 360.0;
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon <= -180.0 {
+            lon += 360.0;
+        }
+        Self {
+            lat_deg: lat,
+            lon_deg: lon,
+        }
+    }
+
+    /// Great-circle distance to `other` in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        great_circle_km(*self, *other)
+    }
+
+    /// Local timezone offset from UTC in hours, approximated from longitude
+    /// (15° per hour). The diurnal congestion models need local wall-clock
+    /// time at arbitrary points; solar time is accurate enough for
+    /// "business-hours vs night" effects.
+    pub fn utc_offset_hours(&self) -> f64 {
+        self.lon_deg / 15.0
+    }
+}
+
+/// Great-circle distance between two points in kilometres (haversine).
+pub fn great_circle_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let lat1 = a.lat_deg.to_radians();
+    let lat2 = b.lat_deg.to_radians();
+    let dlat = (b.lat_deg - a.lat_deg).to_radians();
+    let dlon = (b.lon_deg - a.lon_deg).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().min(1.0).asin()
+}
+
+/// Initial bearing from `a` to `b` in degrees clockwise from north,
+/// `0.0..360.0`. Used only for topology debugging/visualisation.
+pub fn initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> f64 {
+    let lat1 = a.lat_deg.to_radians();
+    let lat2 = b.lat_deg.to_radians();
+    let dlon = (b.lon_deg - a.lon_deg).to_radians();
+    let y = dlon.sin() * lat2.cos();
+    let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+    (y.atan2(x).to_degrees() + 360.0) % 360.0
+}
+
+/// Speed of light in fibre, km per millisecond (~2/3 c). Propagation delay
+/// of a link is `distance / FIBRE_KM_PER_MS` milliseconds.
+pub const FIBRE_KM_PER_MS: f64 = 200.0;
+
+/// One-way propagation delay in milliseconds for a straight fibre run of
+/// `km` kilometres.
+pub fn propagation_delay_ms(km: f64) -> f64 {
+    km / FIBRE_KM_PER_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(52.37, 4.9);
+        assert_eq!(great_circle_km(p, p), 0.0);
+    }
+
+    #[test]
+    fn known_city_distances() {
+        // Amsterdam <-> London is ~358 km.
+        let ams = GeoPoint::new(52.3676, 4.9041);
+        let lon = GeoPoint::new(51.5074, -0.1278);
+        assert!(close(great_circle_km(ams, lon), 358.0, 10.0));
+        // Singapore <-> Sydney ~6300 km.
+        let sin = GeoPoint::new(1.3521, 103.8198);
+        let syd = GeoPoint::new(-33.8688, 151.2093);
+        assert!(close(great_circle_km(sin, syd), 6300.0, 100.0));
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = GeoPoint::new(37.33, -121.89);
+        let b = GeoPoint::new(1.35, 103.82);
+        assert!(close(great_circle_km(a, b), great_circle_km(b, a), 1e-9));
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!(close(great_circle_km(a, b), half, 1.0));
+    }
+
+    #[test]
+    fn longitude_normalisation() {
+        let p = GeoPoint::new(0.0, 190.0);
+        assert!(close(p.lon_deg, -170.0, 1e-12));
+        let q = GeoPoint::new(0.0, -190.0);
+        assert!(close(q.lon_deg, 170.0, 1e-12));
+        let r = GeoPoint::new(95.0, 0.0);
+        assert_eq!(r.lat_deg, 90.0);
+    }
+
+    #[test]
+    fn bearing_east_along_equator() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 10.0);
+        assert!(close(initial_bearing_deg(a, b), 90.0, 1e-6));
+        assert!(close(initial_bearing_deg(b, a), 270.0, 1e-6));
+    }
+
+    #[test]
+    fn utc_offsets() {
+        assert!(close(GeoPoint::new(0.0, 0.0).utc_offset_hours(), 0.0, 1e-12));
+        assert!(close(GeoPoint::new(1.35, 103.82).utc_offset_hours(), 6.92, 0.01));
+        assert!(close(GeoPoint::new(37.33, -121.89).utc_offset_hours(), -8.13, 0.01));
+    }
+
+    #[test]
+    fn propagation_delay() {
+        // 200 km of fibre is 1 ms one way.
+        assert!(close(propagation_delay_ms(200.0), 1.0, 1e-12));
+        // Transatlantic ~6000 km ≈ 30 ms one way.
+        assert!(close(propagation_delay_ms(6000.0), 30.0, 1e-12));
+    }
+}

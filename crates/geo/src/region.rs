@@ -1,0 +1,153 @@
+//! World regions and PoP regions.
+//!
+//! The paper uses two partitions of the globe:
+//!
+//! * seven **world regions** for classifying traffic sources (Fig 7):
+//!   Oceania, Asia Pacific, Middle East, Africa, Europe, North & Central
+//!   America, South America;
+//! * four **PoP regions** for classifying VNS points of presence: EU, US,
+//!   AP, OC.
+
+use std::fmt;
+
+/// The seven world regions of Fig 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// Europe.
+    Europe,
+    /// North and Central America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Asia Pacific.
+    AsiaPacific,
+    /// Oceania (Australia, New Zealand, Pacific islands).
+    Oceania,
+    /// Middle East.
+    MiddleEast,
+    /// Africa.
+    Africa,
+}
+
+impl Region {
+    /// All seven regions, in the order the harness reports them.
+    pub const ALL: [Region; 7] = [
+        Region::Europe,
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::AsiaPacific,
+        Region::Oceania,
+        Region::MiddleEast,
+        Region::Africa,
+    ];
+
+    /// Short code used in figure legends (`EU`, `NA`, `SA`, `AP`, `OC`,
+    /// `ME`, `AF`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Region::Europe => "EU",
+            Region::NorthAmerica => "NA",
+            Region::SouthAmerica => "SA",
+            Region::AsiaPacific => "AP",
+            Region::Oceania => "OC",
+            Region::MiddleEast => "ME",
+            Region::Africa => "AF",
+        }
+    }
+
+    /// The PoP region whose PoPs serve this world region, mirroring how the
+    /// paper folds Fig 7's seven source regions onto its four PoP regions.
+    pub fn home_pop_region(&self) -> PopRegion {
+        match self {
+            Region::Europe | Region::MiddleEast | Region::Africa => PopRegion::Eu,
+            Region::NorthAmerica | Region::SouthAmerica => PopRegion::Us,
+            Region::AsiaPacific => PopRegion::Ap,
+            Region::Oceania => PopRegion::Oc,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// The four PoP regions the paper divides VNS into (Sec 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PopRegion {
+    /// European PoPs.
+    Eu,
+    /// United States PoPs.
+    Us,
+    /// Asia-Pacific PoPs.
+    Ap,
+    /// Oceania PoPs.
+    Oc,
+}
+
+impl PopRegion {
+    /// All four PoP regions.
+    pub const ALL: [PopRegion; 4] = [PopRegion::Eu, PopRegion::Us, PopRegion::Ap, PopRegion::Oc];
+
+    /// Short legend code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PopRegion::Eu => "EU",
+            PopRegion::Us => "US",
+            PopRegion::Ap => "AP",
+            PopRegion::Oc => "OC",
+        }
+    }
+
+    /// The measurement region this PoP region maps to in Sec 5's three-way
+    /// split (EU / NA / AP): the paper folds Oceania PoPs into AP there.
+    pub fn measurement_region(&self) -> Region {
+        match self {
+            PopRegion::Eu => Region::Europe,
+            PopRegion::Us => Region::NorthAmerica,
+            PopRegion::Ap | PopRegion::Oc => Region::AsiaPacific,
+        }
+    }
+}
+
+impl fmt::Display for PopRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_unique() {
+        let codes: std::collections::HashSet<_> = Region::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(codes.len(), Region::ALL.len());
+    }
+
+    #[test]
+    fn home_pop_regions() {
+        assert_eq!(Region::Europe.home_pop_region(), PopRegion::Eu);
+        assert_eq!(Region::Africa.home_pop_region(), PopRegion::Eu);
+        assert_eq!(Region::SouthAmerica.home_pop_region(), PopRegion::Us);
+        assert_eq!(Region::Oceania.home_pop_region(), PopRegion::Oc);
+    }
+
+    #[test]
+    fn measurement_fold() {
+        assert_eq!(PopRegion::Oc.measurement_region(), Region::AsiaPacific);
+        assert_eq!(PopRegion::Us.measurement_region(), Region::NorthAmerica);
+    }
+
+    #[test]
+    fn display_matches_code() {
+        for r in Region::ALL {
+            assert_eq!(r.to_string(), r.code());
+        }
+        for p in PopRegion::ALL {
+            assert_eq!(p.to_string(), p.code());
+        }
+    }
+}

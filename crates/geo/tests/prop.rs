@@ -1,0 +1,54 @@
+//! Property tests: the great-circle distance is a metric on the sphere and
+//! coordinate normalisation is idempotent.
+
+use proptest::prelude::*;
+use vns_geo::{great_circle_km, GeoPoint, EARTH_RADIUS_KM};
+
+fn point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..=90.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_nonnegative_and_bounded(a in point(), b in point()) {
+        let d = great_circle_km(a, b);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1.0);
+    }
+
+    #[test]
+    fn distance_symmetric(a in point(), b in point()) {
+        let ab = great_circle_km(a, b);
+        let ba = great_circle_km(b, a);
+        prop_assert!((ab - ba).abs() < 1e-6, "ab {ab} ba {ba}");
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(a in point()) {
+        prop_assert_eq!(great_circle_km(a, a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality(a in point(), b in point(), c in point()) {
+        let ab = great_circle_km(a, b);
+        let bc = great_circle_km(b, c);
+        let ac = great_circle_km(a, c);
+        prop_assert!(ac <= ab + bc + 1e-6, "ac {ac} > ab {ab} + bc {bc}");
+    }
+
+    #[test]
+    fn normalisation_idempotent(lat in -500.0f64..500.0, lon in -1000.0f64..1000.0) {
+        let p = GeoPoint::new(lat, lon);
+        let q = GeoPoint::new(p.lat_deg, p.lon_deg);
+        prop_assert!((p.lat_deg - q.lat_deg).abs() < 1e-12);
+        prop_assert!((p.lon_deg - q.lon_deg).abs() < 1e-12);
+        prop_assert!(p.lat_deg.abs() <= 90.0);
+        prop_assert!(p.lon_deg > -180.0 - 1e-12 && p.lon_deg <= 180.0 + 1e-12);
+    }
+
+    #[test]
+    fn utc_offset_tracks_longitude(lon in -180.0f64..180.0) {
+        let p = GeoPoint::new(0.0, lon);
+        prop_assert!((p.utc_offset_hours() - lon / 15.0).abs() < 1e-9);
+    }
+}

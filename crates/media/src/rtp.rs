@@ -1,0 +1,146 @@
+//! Minimal RTP bookkeeping: sequence numbers, timestamps, and the RFC 3550
+//! interarrival-jitter estimator the paper's clients report.
+
+use vns_netsim::SimTime;
+
+/// RTP clock rate for video (per RFC 3551).
+pub const VIDEO_CLOCK_HZ: f64 = 90_000.0;
+
+/// An RTP header's fields we care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtpHeader {
+    /// Sequence number (wraps at 2^16).
+    pub seq: u16,
+    /// Media timestamp in 90 kHz units.
+    pub timestamp: u32,
+    /// Synchronisation source.
+    pub ssrc: u32,
+}
+
+impl RtpHeader {
+    /// Builds a header for the `i`-th packet of a stream whose media clock
+    /// started at `start`.
+    pub fn for_packet(i: u64, sent: SimTime, start: SimTime, ssrc: u32) -> Self {
+        let elapsed = (sent - start).as_secs_f64();
+        RtpHeader {
+            seq: (i % 65_536) as u16,
+            timestamp: ((elapsed * VIDEO_CLOCK_HZ) as u64 % (1 << 32)) as u32,
+            ssrc,
+        }
+    }
+}
+
+/// RFC 3550 §6.4.1 interarrival jitter, in milliseconds.
+///
+/// `J(i) = J(i-1) + (|D(i-1,i)| - J(i-1)) / 16`, where `D` compares the
+/// spacing of arrivals against the spacing of the media timestamps.
+#[derive(Debug, Clone, Default)]
+pub struct JitterEstimator {
+    jitter_ms: f64,
+    max_ms: f64,
+    last: Option<(SimTime, SimTime)>, // (sent, arrived)
+    samples: u64,
+}
+
+impl JitterEstimator {
+    /// Fresh estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one received packet (its send and arrival instants).
+    pub fn on_packet(&mut self, sent: SimTime, arrived: SimTime) {
+        if let Some((ps, pa)) = self.last {
+            // D = (arrived - prev_arrived) - (sent - prev_sent), signed ms.
+            let da = signed_ms(arrived, pa);
+            let ds = signed_ms(sent, ps);
+            let d = (da - ds).abs();
+            self.jitter_ms += (d - self.jitter_ms) / 16.0;
+            self.max_ms = self.max_ms.max(self.jitter_ms);
+            self.samples += 1;
+        }
+        self.last = Some((sent, arrived));
+    }
+
+    /// Current smoothed jitter, ms.
+    pub fn jitter_ms(&self) -> f64 {
+        self.jitter_ms
+    }
+
+    /// Maximum the smoothed estimate reached, ms (what a session reports).
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// Number of interarrival samples folded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+fn signed_ms(a: SimTime, b: SimTime) -> f64 {
+    if a >= b {
+        (a - b).as_millis_f64()
+    } else {
+        -((b - a).as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vns_netsim::Dur;
+
+    #[test]
+    fn header_sequence_wraps() {
+        let h = RtpHeader::for_packet(65_537, SimTime::EPOCH, SimTime::EPOCH, 7);
+        assert_eq!(h.seq, 1);
+        assert_eq!(h.ssrc, 7);
+    }
+
+    #[test]
+    fn header_timestamp_advances_at_90khz() {
+        let start = SimTime::EPOCH;
+        let h = RtpHeader::for_packet(0, start + Dur::from_millis(100), start, 1);
+        assert_eq!(h.timestamp, 9000);
+    }
+
+    #[test]
+    fn constant_delay_means_zero_jitter() {
+        let mut j = JitterEstimator::new();
+        for i in 0..100u64 {
+            let sent = SimTime::EPOCH + Dur::from_millis(i * 33);
+            let arrived = sent + Dur::from_millis(80);
+            j.on_packet(sent, arrived);
+        }
+        assert_eq!(j.jitter_ms(), 0.0);
+        assert_eq!(j.max_ms(), 0.0);
+        assert_eq!(j.samples(), 99);
+    }
+
+    #[test]
+    fn variable_delay_raises_jitter() {
+        let mut j = JitterEstimator::new();
+        for i in 0..200u64 {
+            let sent = SimTime::EPOCH + Dur::from_millis(i * 33);
+            let delay = if i % 2 == 0 { 80 } else { 88 };
+            j.on_packet(sent, sent + Dur::from_millis(delay));
+        }
+        // Alternating ±8 ms converges towards 8 ms (RFC smoothing keeps it
+        // just below).
+        assert!(j.jitter_ms() > 5.0 && j.jitter_ms() < 8.5, "{}", j.jitter_ms());
+    }
+
+    #[test]
+    fn estimator_ignores_order_of_magnitude_of_base_delay() {
+        let run = |base: u64| {
+            let mut j = JitterEstimator::new();
+            for i in 0..100u64 {
+                let sent = SimTime::EPOCH + Dur::from_millis(i * 33);
+                j.on_packet(sent, sent + Dur::from_millis(base + (i % 3)));
+            }
+            j.jitter_ms()
+        };
+        assert!((run(10) - run(300)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! SIP-style call signalling over lossy paths.
+//!
+//! The paper's media relays are "TURN relays, SIP B2BUA, or Multipoint
+//! Conferencing Units"; users authenticate to the anycast TURN address and
+//! set calls up with SIP (Sec 3.1, Sec 4.4 measures the authentication
+//! requests). This module models the latency-relevant part of that
+//! signalling: an INVITE transaction with RFC 3261 timer-A
+//! retransmissions (T1 = 500 ms doubling), a provisional response, a final
+//! 200, and the ACK. Packet loss on the signalling path turns directly
+//! into call-setup delay — a second-order cost of lossy transport that
+//! loss percentages alone don't show.
+
+use vns_netsim::{Dur, PathChannel, PathOutcome, SimTime};
+
+/// RFC 3261 T1.
+pub const SIP_T1: Dur = Dur::from_millis(500);
+/// Timer B: transaction timeout = 64 × T1.
+pub const SIP_TIMER_B: Dur = Dur::from_millis(64 * 500);
+
+/// Result of one call-setup attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetupReport {
+    /// Did the call set up before timer B?
+    pub established: bool,
+    /// Time from first INVITE to receiving the 200 OK, ms.
+    pub setup_ms: f64,
+    /// INVITE retransmissions needed.
+    pub invite_retransmissions: u32,
+    /// Total signalling messages put on the wire (both directions).
+    pub messages_sent: u32,
+}
+
+/// One signalling round trip: request out, response back. Returns the
+/// response arrival time if both legs survive.
+fn transact(
+    fwd: &mut PathChannel,
+    rev: &mut PathChannel,
+    at: SimTime,
+    messages: &mut u32,
+) -> Option<SimTime> {
+    *messages += 1;
+    let PathOutcome::Delivered { arrival, .. } = fwd.send(at) else {
+        return None;
+    };
+    *messages += 1;
+    match rev.send(arrival) {
+        PathOutcome::Delivered { arrival, .. } => Some(arrival),
+        PathOutcome::Lost { .. } => None,
+    }
+}
+
+/// Runs an INVITE transaction starting at `start`: retransmit on T1
+/// doubling until a 200 round trip completes or timer B fires, then ACK.
+pub fn setup_call(
+    fwd: &mut PathChannel,
+    rev: &mut PathChannel,
+    start: SimTime,
+) -> SetupReport {
+    let deadline = start + SIP_TIMER_B;
+    let mut messages = 0u32;
+    let mut retransmissions = 0u32;
+    let mut attempt_at = start;
+    let mut interval = SIP_T1;
+    loop {
+        if let Some(ok_at) = transact(fwd, rev, attempt_at, &mut messages) {
+            // ACK (fire and forget).
+            messages += 1;
+            let _ = fwd.send(ok_at);
+            return SetupReport {
+                established: true,
+                setup_ms: (ok_at - start).as_millis_f64(),
+                invite_retransmissions: retransmissions,
+                messages_sent: messages,
+            };
+        }
+        attempt_at = attempt_at + interval;
+        interval = interval + interval; // T1 doubling
+        retransmissions += 1;
+        if attempt_at >= deadline {
+            return SetupReport {
+                established: false,
+                setup_ms: (deadline - start).as_millis_f64(),
+                invite_retransmissions: retransmissions,
+                messages_sent: messages,
+            };
+        }
+    }
+}
+
+/// A TURN-style authentication exchange (what the paper's Fig 7 counts):
+/// one request/challenge plus one authenticated retry — two round trips,
+/// each retransmitted on loss like the INVITE.
+pub fn authenticate(
+    fwd: &mut PathChannel,
+    rev: &mut PathChannel,
+    start: SimTime,
+) -> Option<f64> {
+    let mut messages = 0u32;
+    let deadline = start + SIP_TIMER_B;
+    let mut at = start;
+    let mut interval = SIP_T1;
+    // Two sequential round trips (challenge, then authenticated request).
+    let mut completed = 0;
+    while completed < 2 {
+        match transact(fwd, rev, at, &mut messages) {
+            Some(done) => {
+                completed += 1;
+                at = done;
+                interval = SIP_T1;
+            }
+            None => {
+                at = at + interval;
+                interval = interval + interval;
+                if at >= deadline {
+                    return None;
+                }
+            }
+        }
+    }
+    Some((at - start).as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vns_netsim::{HopChannel, LossModel, LossProcess};
+
+    fn channel(base_ms: f64, p: f64, seed: u64) -> PathChannel {
+        let mut hop = HopChannel::ideal(base_ms);
+        hop.loss = LossProcess::new(LossModel::Bernoulli { p }, SmallRng::seed_from_u64(seed));
+        PathChannel::new(vec![hop], SmallRng::seed_from_u64(seed + 1))
+    }
+
+    #[test]
+    fn clean_path_sets_up_in_one_rtt() {
+        let mut fwd = channel(40.0, 0.0, 1);
+        let mut rev = channel(40.0, 0.0, 2);
+        let r = setup_call(&mut fwd, &mut rev, SimTime::EPOCH);
+        assert!(r.established);
+        assert_eq!(r.invite_retransmissions, 0);
+        assert!(r.setup_ms >= 80.0 && r.setup_ms < 83.0, "{}", r.setup_ms);
+        assert_eq!(r.messages_sent, 3); // INVITE, 200, ACK
+    }
+
+    #[test]
+    fn loss_inflates_setup_time() {
+        // 20% loss: many setups need a 500 ms (or longer) retransmission.
+        let mut slow = 0;
+        let mut fwd = channel(30.0, 0.2, 3);
+        let mut rev = channel(30.0, 0.2, 4);
+        let mut t = SimTime::EPOCH;
+        for _ in 0..200 {
+            let r = setup_call(&mut fwd, &mut rev, t);
+            assert!(r.established);
+            if r.setup_ms > 400.0 {
+                slow += 1;
+            }
+            t = t + Dur::from_secs(60);
+        }
+        assert!((40..150).contains(&slow), "slow setups {slow}");
+    }
+
+    #[test]
+    fn dead_path_times_out_at_timer_b() {
+        let mut fwd = channel(10.0, 1.0, 5);
+        let mut rev = channel(10.0, 0.0, 6);
+        let r = setup_call(&mut fwd, &mut rev, SimTime::EPOCH);
+        assert!(!r.established);
+        assert!(r.setup_ms <= SIP_TIMER_B.as_millis_f64() + 1e-6);
+        assert!(r.invite_retransmissions >= 6, "{}", r.invite_retransmissions);
+    }
+
+    #[test]
+    fn auth_is_two_round_trips() {
+        let mut fwd = channel(25.0, 0.0, 7);
+        let mut rev = channel(25.0, 0.0, 8);
+        let ms = authenticate(&mut fwd, &mut rev, SimTime::EPOCH).expect("auth");
+        assert!(ms >= 100.0 && ms < 106.0, "{ms}");
+        let mut dead = channel(25.0, 1.0, 9);
+        let mut rev2 = channel(25.0, 0.0, 10);
+        assert!(authenticate(&mut dead, &mut rev2, SimTime::EPOCH).is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! Video stream models and RTP packet schedules.
+//!
+//! The paper streams "actual recordings of 720p and 1080p HD video
+//! conferences … captured on industry-standard professional video
+//! equipment". We model such a recording statistically: constant frame
+//! cadence, an I/P GOP structure with large I-frames, lognormal-ish size
+//! variation around the target bitrate, and packetisation into MTU-sized
+//! RTP packets sent back-to-back per frame.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use vns_netsim::{Dur, SimTime};
+
+/// A video stream class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoSpec {
+    /// Human name (`"1080p"`).
+    pub name: &'static str,
+    /// Target video bitrate, bits/s.
+    pub bitrate_bps: f64,
+    /// Frames per second.
+    pub fps: f64,
+    /// Frames per GOP (one leading I-frame each).
+    pub gop: usize,
+    /// I-frame size relative to a P-frame.
+    pub i_frame_ratio: f64,
+    /// RTP payload bytes per packet.
+    pub mtu_payload: usize,
+}
+
+impl VideoSpec {
+    /// 1080p HD conference stream (~4 Mb/s).
+    pub const HD1080: VideoSpec = VideoSpec {
+        name: "1080p",
+        bitrate_bps: 4.0e6,
+        fps: 30.0,
+        gop: 30,
+        i_frame_ratio: 5.0,
+        mtu_payload: 1200,
+    };
+
+    /// 720p HD conference stream (~2.2 Mb/s) — fewer, therefore
+    /// jitter-sensitive, packets (Sec 5.1.1).
+    pub const HD720: VideoSpec = VideoSpec {
+        name: "720p",
+        bitrate_bps: 2.2e6,
+        fps: 30.0,
+        gop: 30,
+        i_frame_ratio: 5.0,
+        mtu_payload: 1200,
+    };
+
+    /// Mean P-frame size in bytes, derived from the bitrate and GOP
+    /// structure.
+    pub fn mean_p_frame_bytes(&self) -> f64 {
+        // Per GOP: 1 I-frame (= ratio * p) + (gop-1) P-frames.
+        let frames_per_sec = self.fps;
+        let bytes_per_sec = self.bitrate_bps / 8.0;
+        let bytes_per_frame_avg = bytes_per_sec / frames_per_sec;
+        let weight = (self.i_frame_ratio + (self.gop as f64 - 1.0)) / self.gop as f64;
+        bytes_per_frame_avg / weight
+    }
+
+    /// Expected packets per second (approximate).
+    pub fn approx_packets_per_sec(&self) -> f64 {
+        (self.bitrate_bps / 8.0) / self.mtu_payload as f64
+    }
+
+    /// Generates the packet send schedule for a session of `duration`
+    /// starting at `start`. Frame sizes vary ±20% around their class mean;
+    /// packets of one frame leave back-to-back at a 100 µs pacing.
+    pub fn schedule(&self, start: SimTime, duration: Dur, rng: &mut SmallRng) -> PacketSchedule {
+        let frame_interval = Dur::from_millis_f64(1000.0 / self.fps);
+        let n_frames = duration.div_count(frame_interval) as usize;
+        let p_bytes = self.mean_p_frame_bytes();
+        let mut packets = Vec::with_capacity(
+            (duration.as_secs_f64() * self.approx_packets_per_sec() * 1.1) as usize,
+        );
+        let pacing = Dur::from_micros(100);
+        let mut t = start;
+        for f in 0..n_frames {
+            let base = if f % self.gop == 0 {
+                p_bytes * self.i_frame_ratio
+            } else {
+                p_bytes
+            };
+            let size = (base * rng.gen_range(0.8..1.2)).max(64.0) as usize;
+            let n_pkts = size.div_ceil(self.mtu_payload);
+            for k in 0..n_pkts {
+                let sent = t + pacing.mul(k as u64);
+                let payload = if k + 1 == n_pkts {
+                    size - self.mtu_payload * (n_pkts - 1)
+                } else {
+                    self.mtu_payload
+                };
+                packets.push(ScheduledPacket {
+                    sent,
+                    payload_bytes: payload,
+                    frame: f as u32,
+                });
+            }
+            t += frame_interval;
+        }
+        PacketSchedule { packets }
+    }
+}
+
+/// One packet in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledPacket {
+    /// Send instant.
+    pub sent: SimTime,
+    /// Payload bytes.
+    pub payload_bytes: usize,
+    /// Frame index the packet belongs to.
+    pub frame: u32,
+}
+
+/// The full send schedule of one stream.
+#[derive(Debug, Clone)]
+pub struct PacketSchedule {
+    /// Packets in send order.
+    pub packets: Vec<ScheduledPacket>,
+}
+
+impl PacketSchedule {
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| p.payload_bytes as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn bitrate_roughly_met() {
+        let spec = VideoSpec::HD1080;
+        let sched = spec.schedule(SimTime::EPOCH, Dur::from_secs(120), &mut rng());
+        let bits = sched.total_bytes() as f64 * 8.0;
+        let rate = bits / 120.0;
+        assert!(
+            (rate - spec.bitrate_bps).abs() / spec.bitrate_bps < 0.1,
+            "rate {rate}"
+        );
+    }
+
+    #[test]
+    fn packets_in_time_order_and_window() {
+        let spec = VideoSpec::HD720;
+        let start = SimTime::EPOCH + Dur::from_hours(5);
+        let sched = spec.schedule(start, Dur::from_secs(10), &mut rng());
+        assert!(!sched.is_empty());
+        for w in sched.packets.windows(2) {
+            assert!(w[0].sent <= w[1].sent);
+        }
+        assert!(sched.packets.first().unwrap().sent >= start);
+        assert!(sched.packets.last().unwrap().sent < start + Dur::from_secs(10));
+    }
+
+    #[test]
+    fn i_frames_bigger() {
+        let spec = VideoSpec::HD1080;
+        let sched = spec.schedule(SimTime::EPOCH, Dur::from_secs(4), &mut rng());
+        let frame_pkts = |f: u32| sched.packets.iter().filter(|p| p.frame == f).count();
+        // Frame 0 is an I-frame, frame 1 a P-frame.
+        assert!(frame_pkts(0) >= 3 * frame_pkts(1));
+    }
+
+    #[test]
+    fn packet_counts_by_definition() {
+        // 720p streams have fewer packets than 1080p over the same window.
+        let s720 = VideoSpec::HD720.schedule(SimTime::EPOCH, Dur::from_secs(30), &mut rng());
+        let s1080 = VideoSpec::HD1080.schedule(SimTime::EPOCH, Dur::from_secs(30), &mut rng());
+        assert!(s720.len() < s1080.len());
+    }
+
+    #[test]
+    fn mean_p_frame_consistent() {
+        let spec = VideoSpec::HD1080;
+        let p = spec.mean_p_frame_bytes();
+        let per_gop = p * spec.i_frame_ratio + p * (spec.gop as f64 - 1.0);
+        let rate = per_gop * 8.0 * (spec.fps / spec.gop as f64);
+        assert!((rate - spec.bitrate_bps).abs() / spec.bitrate_bps < 1e-9);
+    }
+}

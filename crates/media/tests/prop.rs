@@ -1,0 +1,94 @@
+//! Property tests for the media plane: FEC soundness, schedule invariants
+//! and jitter-estimator behaviour.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vns_media::{FecConfig, JitterEstimator, VideoSpec};
+use vns_netsim::{Dur, SimTime};
+
+proptest! {
+    #[test]
+    fn fec_never_unreceives_packets(
+        delivered in prop::collection::vec(any::<bool>(), 1..200),
+        parity in prop::collection::vec(any::<bool>(), 0..25),
+        k in 2usize..12
+    ) {
+        let cfg = FecConfig { k };
+        let out = cfg.recover(&delivered, &parity);
+        prop_assert_eq!(out.len(), delivered.len());
+        for (before, after) in delivered.iter().zip(&out) {
+            prop_assert!(!(*before && !after), "FEC must not drop a delivered packet");
+        }
+        // Residual loss never exceeds raw loss.
+        let raw = delivered.iter().filter(|d| !**d).count();
+        let res = out.iter().filter(|d| !**d).count();
+        prop_assert!(res <= raw);
+    }
+
+    #[test]
+    fn fec_recovers_exactly_single_losses(
+        group in 0usize..10,
+        lost_at in 0usize..8,
+        k in 2usize..9
+    ) {
+        // One loss per group with parity intact is always recoverable.
+        let groups = group + 1;
+        let mut delivered = vec![true; groups * k];
+        let idx = (group % groups) * k + (lost_at % k);
+        delivered[idx] = false;
+        let parity = vec![true; groups];
+        let cfg = FecConfig { k };
+        let out = cfg.recover(&delivered, &parity);
+        prop_assert!(out.iter().all(|d| *d));
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_fills_duration(
+        seed in 0u64..500,
+        secs in 2u64..30
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let start = SimTime::EPOCH + Dur::from_hours(seed % 24);
+        let sched = VideoSpec::HD1080.schedule(start, Dur::from_secs(secs), &mut rng);
+        prop_assert!(!sched.is_empty());
+        for w in sched.packets.windows(2) {
+            prop_assert!(w[0].sent <= w[1].sent);
+            prop_assert!(w[0].frame <= w[1].frame);
+        }
+        prop_assert!(sched.packets.first().unwrap().sent >= start);
+        prop_assert!(sched.packets.last().unwrap().sent < start + Dur::from_secs(secs));
+        // Packet payloads respect the MTU.
+        for p in &sched.packets {
+            prop_assert!(p.payload_bytes <= VideoSpec::HD1080.mtu_payload);
+            prop_assert!(p.payload_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn jitter_estimator_nonnegative_and_zero_for_constant_delay(
+        delay_ms in 1u64..500,
+        n in 2u64..100
+    ) {
+        let mut j = JitterEstimator::new();
+        for i in 0..n {
+            let sent = SimTime::EPOCH + Dur::from_millis(i * 20);
+            j.on_packet(sent, sent + Dur::from_millis(delay_ms));
+        }
+        prop_assert_eq!(j.jitter_ms(), 0.0);
+        prop_assert!(j.max_ms() >= 0.0);
+    }
+
+    #[test]
+    fn jitter_bounded_by_max_delay_swing(
+        swings in prop::collection::vec(0u64..50, 2..80)
+    ) {
+        let mut j = JitterEstimator::new();
+        for (i, s) in swings.iter().enumerate() {
+            let sent = SimTime::EPOCH + Dur::from_millis(i as u64 * 33);
+            j.on_packet(sent, sent + Dur::from_millis(40 + s));
+        }
+        let max_swing = *swings.iter().max().unwrap() as f64;
+        prop_assert!(j.max_ms() <= max_swing + 1e-9, "{} vs {}", j.max_ms(), max_swing);
+    }
+}

@@ -1,0 +1,180 @@
+//! A traffic flow's view of a multi-hop path.
+//!
+//! `vns-topo` resolves a (source, destination) pair to a sequence of hops;
+//! this module turns that sequence into something probes and media streams
+//! can push packets through: each hop has a loss process, a delay sampler
+//! and an optional blackout schedule, and a packet either dies at some hop
+//! or arrives after the summed one-way delay.
+
+use rand::rngs::SmallRng;
+
+use crate::delay::DelaySampler;
+use crate::fault::BlackoutSchedule;
+use crate::loss::LossProcess;
+use crate::time::{Dur, SimTime};
+
+/// One hop of a path, as seen by a single flow.
+#[derive(Debug, Clone)]
+pub struct HopChannel {
+    /// Loss process (per-flow state).
+    pub loss: LossProcess,
+    /// Delay sampler.
+    pub delay: DelaySampler,
+    /// Blackout windows (shared schedule, e.g. convergence events on the
+    /// underlying link).
+    pub blackouts: BlackoutSchedule,
+    /// Human-readable hop label for diagnostics (e.g. `"AS7018:Dallas->AS174:Chicago"`).
+    pub label: String,
+}
+
+impl HopChannel {
+    /// A lossless fixed-delay hop (useful in tests).
+    pub fn ideal(base_ms: f64) -> Self {
+        use crate::loss::LossModel;
+        use rand::SeedableRng;
+        Self {
+            loss: LossProcess::new(LossModel::None, SmallRng::seed_from_u64(0)),
+            delay: DelaySampler::fixed(base_ms),
+            blackouts: BlackoutSchedule::none(),
+            label: String::new(),
+        }
+    }
+}
+
+/// Outcome of sending one packet down a path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathOutcome {
+    /// Delivered; arrival instant and one-way delay.
+    Delivered {
+        /// Arrival time at the destination.
+        arrival: SimTime,
+        /// Accumulated one-way delay.
+        delay: Dur,
+    },
+    /// Lost at hop `hop` (index into the path).
+    Lost {
+        /// Index of the hop that dropped the packet.
+        hop: usize,
+    },
+}
+
+impl PathOutcome {
+    /// True when the packet arrived.
+    pub fn delivered(&self) -> bool {
+        matches!(self, PathOutcome::Delivered { .. })
+    }
+
+    /// One-way delay in ms, `None` when lost.
+    pub fn delay_ms(&self) -> Option<f64> {
+        match self {
+            PathOutcome::Delivered { delay, .. } => Some(delay.as_millis_f64()),
+            PathOutcome::Lost { .. } => None,
+        }
+    }
+}
+
+/// A flow's multi-hop channel: owns per-hop state, shared by all packets of
+/// the flow.
+#[derive(Debug, Clone)]
+pub struct PathChannel {
+    hops: Vec<HopChannel>,
+    rng: SmallRng,
+}
+
+impl PathChannel {
+    /// Builds a channel from hops; `rng` drives the delay sampling.
+    pub fn new(hops: Vec<HopChannel>, rng: SmallRng) -> Self {
+        Self { hops, rng }
+    }
+
+    /// Number of hops.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Hop labels (diagnostics).
+    pub fn labels(&self) -> Vec<&str> {
+        self.hops.iter().map(|h| h.label.as_str()).collect()
+    }
+
+    /// Sends one packet at `sent`; the packet progresses hop by hop,
+    /// accruing sampled delay, and may be dropped by any hop's loss process
+    /// or blackout schedule.
+    pub fn send(&mut self, sent: SimTime) -> PathOutcome {
+        let mut now = sent;
+        for (i, hop) in self.hops.iter_mut().enumerate() {
+            if hop.blackouts.blacked_out(now) || hop.loss.packet_lost(now) {
+                return PathOutcome::Lost { hop: i };
+            }
+            let d = Dur::from_millis_f64(hop.delay.sample_ms(now, &mut self.rng));
+            now += d;
+        }
+        PathOutcome::Delivered {
+            arrival: now,
+            delay: now - sent,
+        }
+    }
+
+    /// Minimum possible one-way delay (sum of hop bases), ms — what a probe
+    /// of `n` packets converges to as its observed minimum.
+    pub fn base_delay_ms(&self) -> f64 {
+        self.hops.iter().map(|h| h.delay.base_ms).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{LossModel, LossProcess};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ideal_path_delivers_with_base_delay() {
+        let mut ch = PathChannel::new(
+            vec![HopChannel::ideal(10.0), HopChannel::ideal(20.0)],
+            rng(1),
+        );
+        assert_eq!(ch.base_delay_ms(), 30.0);
+        let out = ch.send(SimTime::EPOCH);
+        let d = out.delay_ms().expect("delivered");
+        assert!(d >= 30.0 && d < 31.5, "delay {d}");
+    }
+
+    #[test]
+    fn lossy_hop_reports_index() {
+        let mut hops = vec![HopChannel::ideal(1.0), HopChannel::ideal(1.0)];
+        hops[1].loss = LossProcess::new(LossModel::Bernoulli { p: 1.0 }, rng(2));
+        let mut ch = PathChannel::new(hops, rng(3));
+        assert_eq!(ch.send(SimTime::EPOCH), PathOutcome::Lost { hop: 1 });
+    }
+
+    #[test]
+    fn blackout_drops_everything_inside_window() {
+        use crate::fault::BlackoutSchedule;
+        let mut hop = HopChannel::ideal(1.0);
+        let w0 = SimTime::EPOCH + Dur::from_secs(10);
+        hop.blackouts = BlackoutSchedule::new(vec![(w0, w0 + Dur::from_secs(5))]);
+        let mut ch = PathChannel::new(vec![hop], rng(4));
+        assert!(ch.send(SimTime::EPOCH).delivered());
+        assert!(!ch.send(w0 + Dur::from_secs(1)).delivered());
+        assert!(ch.send(w0 + Dur::from_secs(6)).delivered());
+    }
+
+    #[test]
+    fn delay_accumulates_across_hops() {
+        // A packet reaches hop 2 later than it was sent; blackout on hop 2
+        // starting after send time can still drop it.
+        let mut hop1 = HopChannel::ideal(1000.0); // 1 second
+        hop1.label = "slow".into();
+        let mut hop2 = HopChannel::ideal(1.0);
+        let w0 = SimTime::EPOCH + Dur::from_millis(500);
+        hop2.blackouts = BlackoutSchedule::new(vec![(w0, w0 + Dur::from_secs(2))]);
+        let mut ch = PathChannel::new(vec![hop1, hop2], rng(5));
+        // Sent at t=0, arrives at hop2 at ~t=1s which is inside [0.5s, 2.5s).
+        assert_eq!(ch.send(SimTime::EPOCH), PathOutcome::Lost { hop: 1 });
+    }
+}

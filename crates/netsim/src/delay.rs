@@ -1,0 +1,123 @@
+//! Per-hop delay sampling: fixed propagation plus utilisation-dependent
+//! queueing jitter.
+//!
+//! The paper reports jitter almost always under 10 ms (Sec 5.1.1) because
+//! queueing delay on sane links is small compared to wide-area propagation.
+//! We model per-packet one-way hop delay as
+//!
+//! `base + Exp(mean_queue(utilisation))`, capped at the hop's buffer bound,
+//!
+//! with `mean_queue` following the M/M/1-style `ρ/(1−ρ)` blow-up so jitter
+//! and congestion loss rise together on hot links.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::diurnal::DiurnalProfile;
+use crate::time::SimTime;
+
+/// Samples one-way delay for packets crossing a hop.
+#[derive(Debug, Clone)]
+pub struct DelaySampler {
+    /// Fixed component (propagation + serialisation + processing), ms.
+    pub base_ms: f64,
+    /// Utilisation curve driving the queueing component; `None` means an
+    /// uncontended hop with a tiny fixed jitter floor.
+    pub profile: Option<DiurnalProfile>,
+    /// Queueing delay at 50% utilisation, ms (scales the ρ/(1−ρ) curve).
+    pub queue_scale_ms: f64,
+    /// Hard cap on the queueing component (finite buffers), ms.
+    pub max_queue_ms: f64,
+}
+
+impl DelaySampler {
+    /// An uncontended hop: fixed base delay and a hair of jitter.
+    pub fn fixed(base_ms: f64) -> Self {
+        Self {
+            base_ms,
+            profile: None,
+            queue_scale_ms: 0.05,
+            max_queue_ms: 0.5,
+        }
+    }
+
+    /// A contended hop whose queueing tracks `profile`.
+    pub fn contended(base_ms: f64, profile: DiurnalProfile) -> Self {
+        Self {
+            base_ms,
+            profile: Some(profile),
+            queue_scale_ms: 0.6,
+            max_queue_ms: 40.0,
+        }
+    }
+
+    /// Mean queueing delay at time `t`, ms.
+    pub fn mean_queue_ms(&self, t: SimTime) -> f64 {
+        match &self.profile {
+            None => self.queue_scale_ms,
+            Some(p) => {
+                let rho = p.utilization(t).clamp(0.0, 0.99);
+                // queue_scale_ms is the mean at rho = 0.5 where rho/(1-rho)=1.
+                (self.queue_scale_ms * rho / (1.0 - rho)).min(self.max_queue_ms)
+            }
+        }
+    }
+
+    /// Samples a one-way delay in ms for a packet sent at `t`.
+    pub fn sample_ms(&self, t: SimTime, rng: &mut SmallRng) -> f64 {
+        let mean = self.mean_queue_ms(t);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let q = (-mean * u.ln()).min(self.max_queue_ms);
+        self.base_ms + q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::DiurnalShape;
+    use crate::time::Dur;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_hop_close_to_base() {
+        let s = DelaySampler::fixed(10.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = s.sample_ms(SimTime::EPOCH, &mut rng);
+            assert!(d >= 10.0 && d <= 10.5 + 1e-9, "delay {d}");
+        }
+    }
+
+    #[test]
+    fn contended_hop_peak_vs_trough() {
+        let profile = DiurnalProfile::new(DiurnalShape::Business, 0.3, 0.6, 0.0);
+        let s = DelaySampler::contended(5.0, profile);
+        let noon = SimTime::EPOCH + Dur::from_hours(13);
+        let night = SimTime::EPOCH + Dur::from_hours(3);
+        assert!(s.mean_queue_ms(noon) > 3.0 * s.mean_queue_ms(night));
+    }
+
+    #[test]
+    fn queue_capped() {
+        let profile = DiurnalProfile::flat(0.99);
+        let s = DelaySampler::contended(1.0, profile);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let d = s.sample_ms(SimTime::EPOCH, &mut rng);
+            assert!(d <= 1.0 + 40.0 + 1e-9, "delay {d} exceeds buffer cap");
+        }
+    }
+
+    #[test]
+    fn mean_matches_exponential() {
+        let profile = DiurnalProfile::flat(0.5);
+        let s = DelaySampler::contended(0.0, profile);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| s.sample_ms(SimTime::EPOCH, &mut rng)).sum();
+        let mean = sum / n as f64;
+        // At rho=0.5 mean queue = queue_scale (0.6 ms); capping trims a bit.
+        assert!((mean - 0.6).abs() < 0.03, "mean {mean}");
+    }
+}

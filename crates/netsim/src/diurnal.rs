@@ -1,0 +1,166 @@
+//! Diurnal utilisation profiles.
+//!
+//! Fig 12 of the paper shows loss frequency following the *destination*
+//! region's clock (and, in AP, the local clock regardless of destination).
+//! Congestion loss in this simulator is driven by link utilisation, and
+//! utilisation follows one of these time-of-day profiles evaluated at the
+//! link's local solar time.
+
+use crate::time::SimTime;
+
+/// Shape of the daily utilisation curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiurnalShape {
+    /// No time-of-day structure (well-provisioned dedicated links).
+    Flat,
+    /// Business traffic: single broad peak across working hours (~09–17).
+    Business,
+    /// Residential traffic: evening peak (~19–23). Drives the CAHP loss
+    /// peaks the paper attributes to home users.
+    Residential,
+    /// Both a working-hours and an evening component (transit links carrying
+    /// a mix).
+    Mixed,
+}
+
+/// A utilisation-over-time curve: `base + amplitude * shape(local hour)`,
+/// clamped to `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    /// Curve shape.
+    pub shape: DiurnalShape,
+    /// Off-peak utilisation in `[0, 1]`.
+    pub base: f64,
+    /// Peak add-on in `[0, 1]`; peak utilisation is `base + amplitude`.
+    pub amplitude: f64,
+    /// UTC offset (hours) of the point whose local clock drives the curve.
+    pub utc_offset_hours: f64,
+}
+
+/// Periodic bump centred at `centre` (hours) with characteristic width
+/// `width` (hours); 1.0 at the centre, smoothly down to ~0 away from it.
+/// Von-Mises-style so it wraps cleanly at midnight.
+fn bump(hour: f64, centre: f64, width: f64) -> f64 {
+    let k = (12.0 / width).powi(2) / 2.0;
+    let phase = (hour - centre) * std::f64::consts::TAU / 24.0;
+    (k * (phase.cos() - 1.0)).exp()
+}
+
+impl DiurnalShape {
+    /// Shape value in `[0, 1]` at a local hour.
+    pub fn value(&self, local_hour: f64) -> f64 {
+        match self {
+            DiurnalShape::Flat => 0.0,
+            DiurnalShape::Business => bump(local_hour, 13.0, 4.5),
+            DiurnalShape::Residential => bump(local_hour, 20.5, 3.0),
+            DiurnalShape::Mixed => {
+                (0.7 * bump(local_hour, 13.0, 4.5) + 0.6 * bump(local_hour, 20.5, 3.0)).min(1.0)
+            }
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// A flat profile at constant utilisation.
+    pub fn flat(base: f64) -> Self {
+        Self {
+            shape: DiurnalShape::Flat,
+            base,
+            amplitude: 0.0,
+            utc_offset_hours: 0.0,
+        }
+    }
+
+    /// Builds a profile.
+    pub fn new(shape: DiurnalShape, base: f64, amplitude: f64, utc_offset_hours: f64) -> Self {
+        Self {
+            shape,
+            base,
+            amplitude,
+            utc_offset_hours,
+        }
+    }
+
+    /// Utilisation in `[0, 1]` at simulation time `t`.
+    pub fn utilization(&self, t: SimTime) -> f64 {
+        let h = t.local_hour(self.utc_offset_hours);
+        (self.base + self.amplitude * self.shape.value(h)).clamp(0.0, 1.0)
+    }
+
+    /// Utilisation at an explicit local hour (for tests and calibration).
+    pub fn utilization_at_hour(&self, local_hour: f64) -> f64 {
+        (self.base + self.amplitude * self.shape.value(local_hour)).clamp(0.0, 1.0)
+    }
+
+    /// Peak utilisation over the day (sampled).
+    pub fn peak(&self) -> f64 {
+        (0..96)
+            .map(|i| self.utilization_at_hour(i as f64 / 4.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn flat_is_constant() {
+        let p = DiurnalProfile::flat(0.3);
+        for h in 0..24 {
+            assert_eq!(p.utilization_at_hour(h as f64), 0.3);
+        }
+    }
+
+    #[test]
+    fn business_peaks_in_working_hours() {
+        let p = DiurnalProfile::new(DiurnalShape::Business, 0.2, 0.5, 0.0);
+        let noon = p.utilization_at_hour(13.0);
+        let night = p.utilization_at_hour(3.0);
+        assert!(noon > 0.65, "noon {noon}");
+        assert!(night < 0.25, "night {night}");
+    }
+
+    #[test]
+    fn residential_peaks_in_evening() {
+        let p = DiurnalProfile::new(DiurnalShape::Residential, 0.2, 0.6, 0.0);
+        assert!(p.utilization_at_hour(20.5) > p.utilization_at_hour(13.0));
+        assert!(p.utilization_at_hour(20.5) > p.utilization_at_hour(4.0));
+    }
+
+    #[test]
+    fn utc_offset_shifts_peak() {
+        // Same instant, two offsets: in Singapore (UTC+7ish) 05:00 UTC is
+        // noon; in San Jose (UTC-8) it is pre-dawn.
+        let t = SimTime::EPOCH + Dur::from_hours(5);
+        let sg = DiurnalProfile::new(DiurnalShape::Business, 0.1, 0.6, 7.0);
+        let sj = DiurnalProfile::new(DiurnalShape::Business, 0.1, 0.6, -8.0);
+        assert!(sg.utilization(t) > sj.utilization(t));
+    }
+
+    #[test]
+    fn clamped_to_unit_interval() {
+        let p = DiurnalProfile::new(DiurnalShape::Mixed, 0.8, 0.9, 0.0);
+        for i in 0..96 {
+            let u = p.utilization_at_hour(i as f64 / 4.0);
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bump_wraps_midnight() {
+        // A residential curve evaluated just before and after midnight must
+        // be continuous.
+        let p = DiurnalProfile::new(DiurnalShape::Residential, 0.0, 1.0, 0.0);
+        let before = p.utilization_at_hour(23.99);
+        let after = p.utilization_at_hour(0.01);
+        assert!((before - after).abs() < 0.01);
+    }
+
+    #[test]
+    fn peak_reports_max() {
+        let p = DiurnalProfile::new(DiurnalShape::Business, 0.2, 0.5, 0.0);
+        assert!((p.peak() - 0.7).abs() < 0.02);
+    }
+}

@@ -1,0 +1,45 @@
+//! Deterministic discrete-event network simulation substrate.
+//!
+//! The paper's evaluation ran on a production global network; this crate is
+//! the laptop-scale stand-in. It provides the pieces every campaign needs:
+//!
+//! * [`SimTime`]/[`Dur`] — nanosecond simulation clock with calendar helpers
+//!   (hour-of-day drives the diurnal congestion models of Fig 12);
+//! * [`RngTree`] — a master seed fanned out into independent, reproducible
+//!   per-component streams;
+//! * [`EventQueue`]/[`Engine`] — a classic discrete-event loop with
+//!   deterministic FIFO tie-breaking;
+//! * [`DiurnalProfile`] — time-of-day utilisation curves (business,
+//!   residential, flat) that shape congestion loss;
+//! * [`LossModel`]/[`LossProcess`] — Bernoulli, Gilbert–Elliott bursty and
+//!   congestion-coupled loss processes;
+//! * [`DelaySampler`] — propagation + utilisation-dependent queueing delay;
+//! * [`HopChannel`]/[`PathChannel`] — a packet's eye view of a multi-hop
+//!   path, used by both the probing and media crates;
+//! * [`fault`] — scheduled blackout windows modelling routing-convergence
+//!   events (the bursty-outlier cause in Fig 10).
+//!
+//! Everything is deterministic given a master seed: no wall clock, no global
+//! RNG, no iteration-order dependence.
+
+pub mod channel;
+pub mod delay;
+pub mod diurnal;
+pub mod engine;
+pub mod event;
+pub mod fault;
+pub mod loss;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use channel::{HopChannel, PathChannel, PathOutcome};
+pub use delay::DelaySampler;
+pub use diurnal::DiurnalProfile;
+pub use engine::Engine;
+pub use event::EventQueue;
+pub use fault::{BlackoutSchedule, FaultGenerator};
+pub use loss::{LossModel, LossProcess};
+pub use rng::RngTree;
+pub use trace::{Trace, TraceEvent};
+pub use time::{Dur, SimTime};

@@ -1,0 +1,246 @@
+//! Simulation clock.
+//!
+//! Time is a `u64` count of nanoseconds since the simulation epoch. The
+//! epoch is defined to fall on midnight UTC so that calendar arithmetic
+//! (hour-of-day, day index) is exact — the Fig 12 diurnal analysis buckets
+//! loss events by CET hour.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of simulated time (non-negative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Dur(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Dur(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// From minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        Dur::from_secs(m * 60)
+    }
+
+    /// From hours.
+    pub const fn from_hours(h: u64) -> Self {
+        Dur::from_secs(h * 3600)
+    }
+
+    /// From days.
+    pub const fn from_days(d: u64) -> Self {
+        Dur::from_hours(d * 24)
+    }
+
+    /// From fractional milliseconds (the unit most delay math uses).
+    /// Negative and non-finite inputs clamp to zero — a sampled delay can
+    /// round below zero and must not wrap.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        if !ms.is_finite() || ms <= 0.0 {
+            return Dur::ZERO;
+        }
+        Dur((ms * 1_000_000.0).round() as u64)
+    }
+
+    /// As nanoseconds.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub const fn mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+
+    /// Checked division producing how many whole `step`s fit.
+    pub const fn div_count(self, step: Dur) -> u64 {
+        if step.0 == 0 {
+            0
+        } else {
+            self.0 / step.0
+        }
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// An instant on the simulation clock (nanoseconds since epoch; the epoch
+/// falls at midnight UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0, midnight UTC).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// From raw nanoseconds since epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since epoch.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since epoch.
+    pub const fn as_secs(&self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Fractional hours since epoch.
+    pub fn as_hours_f64(&self) -> f64 {
+        self.0 as f64 / 3_600_000_000_000.0
+    }
+
+    /// UTC hour-of-day in `[0.0, 24.0)`.
+    pub fn utc_hour(&self) -> f64 {
+        self.as_hours_f64() % 24.0
+    }
+
+    /// Local hour-of-day in `[0.0, 24.0)` at a longitude-derived UTC offset
+    /// (in hours, may be negative or fractional).
+    pub fn local_hour(&self, utc_offset_hours: f64) -> f64 {
+        ((self.utc_hour() + utc_offset_hours) % 24.0 + 24.0) % 24.0
+    }
+
+    /// Day index since epoch (UTC midnight boundaries).
+    pub const fn day_index(&self) -> u64 {
+        self.0 / 86_400_000_000_000
+    }
+
+    /// Elapsed duration since `earlier`.
+    ///
+    /// # Panics
+    /// Panics (debug) when `earlier` is later than `self`.
+    pub fn since(&self, earlier: SimTime) -> Dur {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos())
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.as_nanos();
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Dur;
+    fn sub(self, rhs: SimTime) -> Dur {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs();
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day_index(),
+            (s / 3600) % 24,
+            (s / 60) % 60,
+            s % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Dur::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Dur::from_secs(2).as_millis_f64(), 2000.0);
+        assert_eq!(Dur::from_days(1).div_count(Dur::from_hours(1)), 24);
+        assert_eq!(Dur::from_millis_f64(1.5).as_nanos(), 1_500_000);
+        assert_eq!(Dur::from_millis_f64(-3.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::EPOCH + Dur::from_hours(25) + Dur::from_mins(30);
+        assert_eq!(t.day_index(), 1);
+        assert!((t.utc_hour() - 1.5).abs() < 1e-9);
+        assert_eq!(t - (SimTime::EPOCH + Dur::from_hours(25)), Dur::from_mins(30));
+    }
+
+    #[test]
+    fn local_hour_wraps() {
+        let t = SimTime::EPOCH + Dur::from_hours(23); // 23:00 UTC
+        assert!((t.local_hour(2.0) - 1.0).abs() < 1e-9); // CET+2 ahead wraps
+        assert!((t.local_hour(-25.0) - 22.0).abs() < 1e-9); // big negative offsets wrap too
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::EPOCH + Dur::from_hours(26) + Dur::from_secs(61);
+        assert_eq!(t.to_string(), "d1+02:01:01");
+        assert_eq!(Dur::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(Dur::from_micros(1500).to_string(), "1.500ms");
+        assert_eq!(Dur::from_nanos(12).to_string(), "12ns");
+    }
+
+    #[test]
+    fn ordering() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert!(a < b);
+        assert_eq!(b.since(a), Dur::from_nanos(4));
+    }
+}

@@ -1,0 +1,192 @@
+//! A lightweight packet-event recorder (smoltcp-style `--pcap`, minus the
+//! binary format): flows can log every send outcome for debugging,
+//! calibration forensics and example output.
+
+use std::fmt;
+
+use crate::channel::PathOutcome;
+use crate::time::SimTime;
+
+/// One recorded packet event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Send instant.
+    pub sent: SimTime,
+    /// Flow label.
+    pub flow: String,
+    /// What happened.
+    pub outcome: PathOutcome,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.outcome {
+            PathOutcome::Delivered { delay, .. } => {
+                write!(f, "{} {} delivered +{}", self.sent, self.flow, delay)
+            }
+            PathOutcome::Lost { hop } => {
+                write!(f, "{} {} LOST at hop {}", self.sent, self.flow, hop)
+            }
+        }
+    }
+}
+
+/// Rolling trace buffer with loss accounting.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    sent: u64,
+    lost: u64,
+    /// When true, delivered packets are recorded too (off by default —
+    /// loss forensics rarely need the happy path).
+    pub record_delivered: bool,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` events (oldest dropped first).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            sent: 0,
+            lost: 0,
+            record_delivered: false,
+        }
+    }
+
+    /// Records one send outcome.
+    pub fn record(&mut self, flow: &str, sent: SimTime, outcome: PathOutcome) {
+        self.sent += 1;
+        let keep = match outcome {
+            PathOutcome::Lost { .. } => {
+                self.lost += 1;
+                true
+            }
+            PathOutcome::Delivered { .. } => self.record_delivered,
+        };
+        if keep {
+            if self.events.len() == self.capacity {
+                self.events.remove(0);
+            }
+            self.events.push(TraceEvent {
+                sent,
+                flow: flow.to_string(),
+                outcome,
+            });
+        }
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Packets seen.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Packets lost.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Loss fraction.
+    pub fn loss_frac(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+
+    /// Groups losses into bursts separated by at least `gap`: returns
+    /// `(burst start, packets lost in burst)` — the Fig 10 forensics view.
+    pub fn loss_bursts(&self, gap: crate::time::Dur) -> Vec<(SimTime, u32)> {
+        let mut bursts: Vec<(SimTime, u32)> = Vec::new();
+        for ev in &self.events {
+            if !matches!(ev.outcome, PathOutcome::Lost { .. }) {
+                continue;
+            }
+            match bursts.last_mut() {
+                Some((start, n)) if ev.sent.since(*start) <= gap.mul(u64::from(*n) + 1) => {
+                    *n += 1;
+                }
+                _ => bursts.push((ev.sent, 1)),
+            }
+        }
+        bursts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    fn lost(at_secs: u64) -> (SimTime, PathOutcome) {
+        (
+            SimTime::EPOCH + Dur::from_secs(at_secs),
+            PathOutcome::Lost { hop: 0 },
+        )
+    }
+
+    fn ok(at_secs: u64) -> (SimTime, PathOutcome) {
+        (
+            SimTime::EPOCH + Dur::from_secs(at_secs),
+            PathOutcome::Delivered {
+                arrival: SimTime::EPOCH + Dur::from_secs(at_secs),
+                delay: Dur::from_millis(10),
+            },
+        )
+    }
+
+    #[test]
+    fn accounting_and_default_filtering() {
+        let mut t = Trace::new(10);
+        for (at, out) in [ok(1), lost(2), ok(3), lost(4)] {
+            t.record("f", at, out);
+        }
+        assert_eq!(t.sent(), 4);
+        assert_eq!(t.lost(), 2);
+        assert!((t.loss_frac() - 0.5).abs() < 1e-12);
+        assert_eq!(t.events().len(), 2, "only losses kept by default");
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..10 {
+            let (at, out) = lost(i);
+            t.record("f", at, out);
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.events()[0].sent, SimTime::EPOCH + Dur::from_secs(7));
+        assert_eq!(t.sent(), 10);
+    }
+
+    #[test]
+    fn record_delivered_flag() {
+        let mut t = Trace::new(10);
+        t.record_delivered = true;
+        let (at, out) = ok(1);
+        t.record("f", at, out);
+        assert_eq!(t.events().len(), 1);
+        assert!(t.events()[0].to_string().contains("delivered"));
+    }
+
+    #[test]
+    fn burst_grouping() {
+        let mut t = Trace::new(100);
+        // Burst of 3 around t=10..12, isolated loss at t=100.
+        for s in [10, 11, 12, 100] {
+            let (at, out) = lost(s);
+            t.record("f", at, out);
+        }
+        let bursts = t.loss_bursts(Dur::from_secs(2));
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].1, 3);
+        assert_eq!(bursts[1].1, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Plain-text table rendering (Table 1 and campaign summaries).
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; shorter rows are padded with empty cells, longer rows
+    /// are rejected.
+    ///
+    /// # Panics
+    /// Panics if the row has more cells than the header has columns.
+    pub fn push<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has more cells than table columns"
+        );
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, col).
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == cols {
+                    writeln!(f, "{cell:<width$}", width = widths[i])?;
+                } else {
+                    write!(f, "{cell:<width$}  ", width = widths[i])?;
+                }
+            }
+            Ok(())
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `0.0153` →
+/// `"1.53%"`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.2}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["Region", "LTP", "STP"]);
+        t.push(["AP", "0.45%", "1.30%"]);
+        t.push(["EU", "0.11%", "0.62%"]);
+        let s = t.to_string();
+        assert!(s.contains("Region"));
+        assert!(s.contains("0.45%"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["only"]);
+        assert_eq!(t.cell(0, 1), Some(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "more cells")]
+    fn rejects_long_rows() {
+        let mut t = Table::new(["a"]);
+        t.push(["x", "y"]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0153), "1.53%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

@@ -1,0 +1,144 @@
+//! Generator configuration.
+
+use vns_geo::Region;
+
+/// Prefix counts originated per AS, by type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCounts {
+    /// Prefixes per LTP.
+    pub ltp: usize,
+    /// Prefixes per STP.
+    pub stp: usize,
+    /// Prefixes per CAHP.
+    pub cahp: usize,
+    /// Prefixes per EC.
+    pub ec: usize,
+}
+
+impl Default for PrefixCounts {
+    fn default() -> Self {
+        Self {
+            ltp: 5,
+            stp: 4,
+            cahp: 3,
+            ec: 1,
+        }
+    }
+}
+
+/// Configuration for [`crate::generate`].
+///
+/// The defaults build a ~200-AS, ~600-prefix Internet that converges in
+/// well under a second — the paper's 400k-prefix table is scaled down by
+/// ~3 orders of magnitude, preserving structure (see DESIGN.md). Multiply
+/// the counts for paper-scale runs.
+#[derive(Debug, Clone)]
+pub struct TopoConfig {
+    /// Master seed for all generator randomness.
+    pub seed: u64,
+    /// Number of global Tier-1-style LTPs.
+    pub ltps: usize,
+    /// STPs per unit-weight region (scaled by region weight).
+    pub stps_per_region: usize,
+    /// CAHPs per unit-weight region.
+    pub cahps_per_region: usize,
+    /// ECs per unit-weight region.
+    pub ecs_per_region: usize,
+    /// Prefixes originated per AS by type.
+    pub prefixes: PrefixCounts,
+    /// Fraction of AP transit providers that also maintain their own
+    /// trans-Pacific presence on the US west coast (the paper observed
+    /// "many Asian network providers carry data to the USA over own
+    /// trans-Pacific infrastructure").
+    pub ap_transpacific_fraction: f64,
+    /// Fraction of non-LTP ASes whose prefixes are geographically spread
+    /// across two regions (the paper's Sec 3.2 "subnets of a contiguous
+    /// prefix can have a large geographic spread").
+    pub spread_as_fraction: f64,
+    /// Probability that two same-region STPs peer (given a shared city).
+    pub stp_peering_prob: f64,
+    /// Probability that two same-region CAHPs peer at a regional hub.
+    pub cahp_peering_prob: f64,
+    /// Whether to apply the GeoIP error models (city jitter + the Russian
+    /// centroid collapse + the Indian stale-WHOIS relocation).
+    pub geoip_errors: bool,
+    /// Uniform city-level GeoIP jitter radius, km.
+    pub geoip_jitter_km: f64,
+    /// Message budget for the initial BGP convergence.
+    pub message_budget: u64,
+}
+
+impl Default for TopoConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20130909, // CoNEXT'13 camera-ready season
+            ltps: 8,
+            stps_per_region: 6,
+            cahps_per_region: 14,
+            ecs_per_region: 12,
+            prefixes: PrefixCounts::default(),
+            ap_transpacific_fraction: 0.35,
+            spread_as_fraction: 0.05,
+            stp_peering_prob: 0.5,
+            cahp_peering_prob: 0.25,
+            geoip_errors: true,
+            geoip_jitter_km: 60.0,
+            message_budget: 50_000_000,
+        }
+    }
+}
+
+impl TopoConfig {
+    /// Relative AS density per region, reflecting where the Internet's
+    /// networks actually are: EU and NA dense, AP medium, the rest sparse.
+    pub fn region_weight(region: Region) -> f64 {
+        match region {
+            Region::Europe => 1.0,
+            Region::NorthAmerica => 1.0,
+            Region::AsiaPacific => 0.85,
+            Region::Oceania => 0.35,
+            Region::SouthAmerica => 0.3,
+            Region::MiddleEast => 0.25,
+            Region::Africa => 0.25,
+        }
+    }
+
+    /// How many ASes of a per-region count to create in `region`.
+    pub fn scaled_count(&self, per_region: usize, region: Region) -> usize {
+        ((per_region as f64) * Self::region_weight(region)).round() as usize
+    }
+
+    /// A smaller config for fast unit/integration tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            ltps: 4,
+            stps_per_region: 3,
+            cahps_per_region: 5,
+            ecs_per_region: 4,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = TopoConfig::default();
+        assert!(c.ltps >= 2);
+        assert!(c.prefixes.ltp >= 1);
+        assert!(c.ap_transpacific_fraction >= 0.0 && c.ap_transpacific_fraction <= 1.0);
+    }
+
+    #[test]
+    fn region_scaling() {
+        let c = TopoConfig::default();
+        let eu = c.scaled_count(10, Region::Europe);
+        let af = c.scaled_count(10, Region::Africa);
+        assert_eq!(eu, 10);
+        assert!(af < eu && af >= 1);
+    }
+}

@@ -1,0 +1,356 @@
+//! The assembled Internet: AS registry, interconnection geometry, prefix
+//! table and the running BGP network.
+//!
+//! This structure is shared by the generator (which fills it with external
+//! ASes) and `vns-core` (which registers the VNS AS: multi-router, with an
+//! IGP and dedicated links). The data-plane resolver in [`crate::path`]
+//! reads everything it needs from here.
+
+use std::collections::BTreeMap;
+
+use vns_bgp::{Asn, BgpNet, IgpGraph, Prefix, PrefixTrie, SpeakerId};
+use vns_geo::{city, CityId, GeoIpDb, GeoPoint, Region};
+
+use crate::astype::AsType;
+
+/// Index into the AS registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsId(pub u32);
+
+/// One autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsInfo {
+    /// Registry index.
+    pub id: AsId,
+    /// AS number.
+    pub asn: Asn,
+    /// Classification.
+    pub ty: AsType,
+    /// Home region (where most of its infrastructure is).
+    pub region: Region,
+    /// Home city — its "traffic centre of mass" for hot-potato modelling.
+    pub home_city: CityId,
+    /// Cities where the AS has presence.
+    pub presence: Vec<CityId>,
+    /// The AS's BGP speaker when modelled at AS granularity (`None` for
+    /// multi-router ASes like VNS, whose routers are registered
+    /// separately).
+    pub speaker: Option<SpeakerId>,
+    /// All of the AS's routers with their cities. Single-router ASes have
+    /// one entry; multi-router transit providers (and VNS) have several.
+    pub routers: Vec<(CityId, SpeakerId)>,
+    /// Prefixes it originates.
+    pub prefixes: Vec<Prefix>,
+    /// True for well-provisioned dedicated infrastructure (VNS): its
+    /// intra-AS hops use the near-lossless channel profile.
+    pub dedicated: bool,
+    /// Intra-AS router topology for multi-router ASes (drives hop-by-hop
+    /// expansion of internal paths).
+    pub igp: Option<IgpGraph>,
+}
+
+/// Where a prefix lives (ground truth, for the data plane and evaluation).
+#[derive(Debug, Clone)]
+pub struct PrefixInfo {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Originating AS.
+    pub origin: AsId,
+    /// City whose location is the prefix's ground truth.
+    pub city: CityId,
+    /// Exact ground-truth location (city plus placement scatter).
+    pub location: GeoPoint,
+    /// Whether reaching hosts in this prefix crosses a last-mile access
+    /// segment (false for infrastructure prefixes, e.g. VNS echo servers
+    /// that live inside a PoP).
+    pub last_mile: bool,
+    /// True for anycast prefixes originated at many sites (VNS TURN
+    /// relays): the data plane terminates at whichever originating router
+    /// the route led to, not at `city`.
+    pub anycast: bool,
+}
+
+/// The world.
+#[derive(Debug)]
+pub struct Internet {
+    /// The BGP control plane (external AS speakers + any registered
+    /// routers).
+    pub net: BgpNet,
+    /// The GeoIP database keyed by prefix (reported locations may be
+    /// wrong; ground truth lives in [`PrefixInfo`]).
+    pub geoip: GeoIpDb<Prefix>,
+    ases: Vec<AsInfo>,
+    asn_index: BTreeMap<Asn, AsId>,
+    speaker_index: BTreeMap<SpeakerId, AsId>,
+    /// City of each registered router (AS-level speakers: home city).
+    router_city: BTreeMap<SpeakerId, CityId>,
+    /// Interconnect geometry per speaker pair: (near city, far city) for
+    /// each parallel link, keyed in both directions.
+    session_links: BTreeMap<(SpeakerId, SpeakerId), Vec<(CityId, CityId)>>,
+    prefix_table: PrefixTrie<PrefixInfo>,
+    next_speaker: u32,
+    next_asn: u32,
+}
+
+impl Default for Internet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Internet {
+    /// An empty world.
+    pub fn new() -> Self {
+        Self {
+            net: BgpNet::new(),
+            geoip: GeoIpDb::new(),
+            ases: Vec::new(),
+            asn_index: BTreeMap::new(),
+            speaker_index: BTreeMap::new(),
+            router_city: BTreeMap::new(),
+            session_links: BTreeMap::new(),
+            prefix_table: PrefixTrie::new(),
+            next_speaker: 1,
+            next_asn: 1,
+        }
+    }
+
+    /// Mints a fresh speaker id (also used by `vns-core` for VNS routers).
+    pub fn alloc_speaker_id(&mut self) -> SpeakerId {
+        let id = SpeakerId(self.next_speaker);
+        self.next_speaker += 1;
+        id
+    }
+
+    /// Mints a fresh AS number.
+    pub fn alloc_asn(&mut self) -> Asn {
+        let asn = Asn(self.next_asn);
+        self.next_asn += 1;
+        asn
+    }
+
+    /// Registers an AS. Returns its id.
+    pub fn add_as(&mut self, info: AsInfo) -> AsId {
+        let id = AsId(self.ases.len() as u32);
+        debug_assert_eq!(info.id, id, "AsInfo.id must match registry position");
+        self.asn_index.insert(info.asn, id);
+        if let Some(sp) = info.speaker {
+            self.speaker_index.insert(sp, id);
+            self.router_city.insert(sp, info.home_city);
+        }
+        for &(city, sp) in &info.routers {
+            self.speaker_index.insert(sp, id);
+            self.router_city.insert(sp, city);
+        }
+        self.ases.push(info);
+        id
+    }
+
+    /// The AS's router closest to `near_city` (for binding interconnects
+    /// and starting data-plane walks). `None` when the AS has no routers.
+    pub fn router_of(&self, as_id: AsId, near_city: CityId) -> Option<SpeakerId> {
+        let info = self.as_info(as_id);
+        info.routers
+            .iter()
+            .min_by(|(a, _), (b, _)| {
+                Self::city_km(near_city, *a)
+                    .partial_cmp(&Self::city_km(near_city, *b))
+                    .expect("finite")
+            })
+            .map(|&(_, sp)| sp)
+            .or(info.speaker)
+    }
+
+    /// Next AS id that [`Internet::add_as`] will assign.
+    pub fn next_as_id(&self) -> AsId {
+        AsId(self.ases.len() as u32)
+    }
+
+    /// Registers a router belonging to a multi-router AS (VNS border
+    /// routers and reflectors).
+    pub fn register_router(&mut self, router: SpeakerId, as_id: AsId, city: CityId) {
+        self.speaker_index.insert(router, as_id);
+        self.router_city.insert(router, city);
+    }
+
+    /// Records interconnect geometry for a session between two speakers:
+    /// the link lands in `city_a` on `a`'s side and `city_b` on `b`'s side
+    /// (usually the same metro). Parallel links at more cities may be
+    /// recorded by calling again.
+    pub fn record_link(&mut self, a: SpeakerId, city_a: CityId, b: SpeakerId, city_b: CityId) {
+        self.session_links
+            .entry((a, b))
+            .or_default()
+            .push((city_a, city_b));
+        self.session_links
+            .entry((b, a))
+            .or_default()
+            .push((city_b, city_a));
+    }
+
+    /// Interconnect candidates from `a` towards `b`.
+    pub fn links_between(&self, a: SpeakerId, b: SpeakerId) -> &[(CityId, CityId)] {
+        self.session_links
+            .get(&(a, b))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Registers a prefix: control plane origination is the caller's job;
+    /// this records ground truth and the GeoIP view.
+    pub fn add_prefix(&mut self, info: PrefixInfo, country: &str, reported: GeoPoint) {
+        self.geoip.insert(info.prefix, reported, country);
+        self.prefix_table.insert(info.prefix, info);
+    }
+
+    /// Ground-truth info for the longest prefix containing `ip`.
+    pub fn lookup_prefix(&self, ip: u32) -> Option<&PrefixInfo> {
+        self.prefix_table.lookup(ip).map(|(_, v)| v)
+    }
+
+    /// Exact prefix info.
+    pub fn prefix_info(&self, prefix: &Prefix) -> Option<&PrefixInfo> {
+        self.prefix_table.get(prefix)
+    }
+
+    /// All registered prefixes in address order.
+    pub fn prefixes(&self) -> impl Iterator<Item = &PrefixInfo> {
+        self.prefix_table.iter().map(|(_, v)| v)
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// AS by id.
+    pub fn as_info(&self, id: AsId) -> &AsInfo {
+        &self.ases[id.0 as usize]
+    }
+
+    /// Mutable AS access (the generator and `vns-core` extend entries).
+    pub fn as_info_mut(&mut self, id: AsId) -> &mut AsInfo {
+        &mut self.ases[id.0 as usize]
+    }
+
+    /// AS by number.
+    pub fn as_by_asn(&self, asn: Asn) -> Option<&AsInfo> {
+        self.asn_index.get(&asn).map(|id| self.as_info(*id))
+    }
+
+    /// The AS a speaker belongs to.
+    pub fn as_of_speaker(&self, sp: SpeakerId) -> Option<AsId> {
+        self.speaker_index.get(&sp).copied()
+    }
+
+    /// The city a router sits in.
+    pub fn city_of_router(&self, sp: SpeakerId) -> Option<CityId> {
+        self.router_city.get(&sp).copied()
+    }
+
+    /// Iterates over all ASes.
+    pub fn ases(&self) -> impl Iterator<Item = &AsInfo> {
+        self.ases.iter()
+    }
+
+    /// ASes of a given type in a given region.
+    pub fn ases_of(&self, ty: AsType, region: Region) -> Vec<&AsInfo> {
+        self.ases
+            .iter()
+            .filter(|a| a.ty == ty && a.region == region)
+            .collect()
+    }
+
+    /// Great-circle km between two cities.
+    pub fn city_km(a: CityId, b: CityId) -> f64 {
+        city(a).location.distance_km(&city(b).location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vns_geo::cities::city_by_name;
+
+    fn test_as(id: u32, asn: u32, speaker: Option<SpeakerId>, city_name: &str) -> AsInfo {
+        let (cid, _) = city_by_name(city_name).unwrap();
+        AsInfo {
+            id: AsId(id),
+            asn: Asn(asn),
+            ty: AsType::Stp,
+            region: Region::Europe,
+            home_city: cid,
+            presence: vec![cid],
+            speaker,
+            routers: speaker.map(|s| (cid, s)).into_iter().collect(),
+            prefixes: vec![],
+            dedicated: false,
+            igp: None,
+        }
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut net = Internet::new();
+        let sp = net.alloc_speaker_id();
+        let id = net.add_as(test_as(0, 100, Some(sp), "Amsterdam"));
+        assert_eq!(net.as_count(), 1);
+        assert_eq!(net.as_info(id).asn, Asn(100));
+        assert_eq!(net.as_by_asn(Asn(100)).unwrap().id, id);
+        assert_eq!(net.as_of_speaker(sp), Some(id));
+        assert_eq!(
+            net.city_of_router(sp),
+            Some(city_by_name("Amsterdam").unwrap().0)
+        );
+    }
+
+    #[test]
+    fn link_geometry_bidirectional() {
+        let mut net = Internet::new();
+        let a = net.alloc_speaker_id();
+        let b = net.alloc_speaker_id();
+        let (ams, _) = city_by_name("Amsterdam").unwrap();
+        let (lon, _) = city_by_name("London").unwrap();
+        net.record_link(a, ams, b, lon);
+        assert_eq!(net.links_between(a, b), &[(ams, lon)]);
+        assert_eq!(net.links_between(b, a), &[(lon, ams)]);
+        assert!(net.links_between(a, a).is_empty());
+    }
+
+    #[test]
+    fn prefix_lookup_longest_match() {
+        let mut net = Internet::new();
+        let sp = net.alloc_speaker_id();
+        let as_id = net.add_as(test_as(0, 100, Some(sp), "Amsterdam"));
+        let (cid, c) = city_by_name("Amsterdam").unwrap();
+        let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p16: Prefix = "10.1.0.0/16".parse().unwrap();
+        for p in [p8, p16] {
+            net.add_prefix(
+                PrefixInfo {
+                    prefix: p,
+                    origin: as_id,
+                    city: cid,
+                    location: c.location,
+                    last_mile: true,
+                    anycast: false,
+                },
+                "NL",
+                c.location,
+            );
+        }
+        assert_eq!(net.lookup_prefix(0x0a010001).unwrap().prefix, p16);
+        assert_eq!(net.lookup_prefix(0x0aff0001).unwrap().prefix, p8);
+        assert!(net.lookup_prefix(0x0b000001).is_none());
+        assert_eq!(net.geoip.len(), 2);
+    }
+
+    #[test]
+    fn id_minting_unique() {
+        let mut net = Internet::new();
+        let ids: Vec<_> = (0..10).map(|_| net.alloc_speaker_id()).collect();
+        let set: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert_ne!(net.alloc_asn(), net.alloc_asn());
+    }
+}

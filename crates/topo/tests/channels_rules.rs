@@ -1,0 +1,137 @@
+//! Calibration-rule tests for the channel factory: the region-pair rules
+//! that encode the paper's transit observations.
+
+use vns_bgp::Asn;
+use vns_geo::cities::city_by_name;
+use vns_geo::Region;
+use vns_netsim::RngTree;
+use vns_topo::path::{HopKind, ResolvedHop};
+use vns_topo::{AsType, CalibrationConfig, ChannelFactory};
+
+fn factory() -> ChannelFactory {
+    ChannelFactory::new(CalibrationConfig::default(), RngTree::new(1).subtree("t"))
+}
+
+fn haul(from: &str, to: &str, km: f64) -> ResolvedHop {
+    let to_region = city_by_name(to).unwrap().1.region;
+    ResolvedHop {
+        kind: HopKind::IntraAs {
+            asn: Asn(9),
+            ty: AsType::Ltp,
+            region: to_region,
+            dedicated: false,
+        },
+        from_city: city_by_name(from).unwrap().0,
+        to_city: city_by_name(to).unwrap().0,
+        km,
+        label: format!("t:{from}->{to}"),
+    }
+}
+
+#[test]
+fn transatlantic_takes_the_milder_profile() {
+    // NA->EU ~ EU->EU per km (the paper: "loss from NA PoPs to EU
+    // destinations is comparable to that from EU PoPs").
+    let f = factory();
+    let atlantic = f.loss_model(&haul("NewYork", "London", 6000.0)).mean_rate();
+    let eu_same_km = f.loss_model(&haul("Oslo", "Athens", 6000.0)).mean_rate();
+    assert!(
+        atlantic <= eu_same_km * 1.3,
+        "atlantic {atlantic} vs EU-internal {eu_same_km}"
+    );
+}
+
+#[test]
+fn eu_ap_route_is_hot() {
+    // The Suez-era EU<->AP haul takes the heavy AP profile: far lossier
+    // than a trans-Atlantic of the same length.
+    let f = factory();
+    let suez = f.loss_model(&haul("Frankfurt", "Singapore", 6000.0)).mean_rate();
+    let atlantic = f.loss_model(&haul("NewYork", "London", 6000.0)).mean_rate();
+    assert!(
+        suez > 2.0 * atlantic,
+        "EU-AP {suez} should dwarf Atlantic {atlantic}"
+    );
+}
+
+#[test]
+fn transpacific_is_premium() {
+    // NA<->AP takes the milder NA profile (the paper's SJS observation).
+    let f = factory();
+    let pacific = f.loss_model(&haul("SanJose", "Singapore", 13000.0)).mean_rate();
+    let suez = f.loss_model(&haul("Frankfurt", "Singapore", 13000.0)).mean_rate();
+    assert!(
+        pacific < suez,
+        "trans-Pacific {pacific} should be cleaner than EU-AP {suez}"
+    );
+}
+
+#[test]
+fn scarce_regions_dominate_their_hauls() {
+    // Anything touching OC/ME/AF/SA runs on the hot "rest" profile.
+    let f = factory();
+    let au = f.loss_model(&haul("Singapore", "Sydney", 6300.0)).mean_rate();
+    let intra_ap = f.loss_model(&haul("Singapore", "HongKong", 6300.0)).mean_rate();
+    assert!(au >= intra_ap, "AU haul {au} at least as hot as AP {intra_ap}");
+}
+
+#[test]
+fn long_leased_ports_are_oversubscribed() {
+    // The >2000 km InterAs case (London's Ashburn port) must be far
+    // lossier than a metro cross-connect.
+    let f = factory();
+    let mk = |km| ResolvedHop {
+        kind: HopKind::InterAs {
+            region: Region::NorthAmerica,
+        },
+        from_city: city_by_name("London").unwrap().0,
+        to_city: city_by_name("Ashburn").unwrap().0,
+        km,
+        label: "port".into(),
+    };
+    let metro = f.loss_model(&mk(1.0)).mean_rate();
+    let backhaul = f.loss_model(&mk(5900.0)).mean_rate();
+    assert!(backhaul > 20.0 * metro, "backhaul {backhaul} vs metro {metro}");
+}
+
+#[test]
+fn last_mile_diurnality_differs_by_type() {
+    // CAHPs peak in the evening, ECs during business hours.
+    use vns_netsim::{Dur, LossProcess, SimTime};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let f = factory();
+    let lm = |ty| ResolvedHop {
+        kind: HopKind::LastMile {
+            ty,
+            region: Region::Europe,
+        },
+        from_city: city_by_name("Amsterdam").unwrap().0,
+        to_city: city_by_name("Amsterdam").unwrap().0,
+        km: 30.0,
+        label: format!("lm:{ty:?}"),
+    };
+    let prob_at = |ty, hour: u64| {
+        let model = f.loss_model(&lm(ty));
+        // Average the window probability over many fluctuation draws.
+        let mut acc = 0.0;
+        for s in 0..60 {
+            let mut p = LossProcess::new(model.clone(), SmallRng::seed_from_u64(s));
+            acc += p.loss_prob(SimTime::EPOCH + Dur::from_hours(hour) + Dur::from_secs(s));
+        }
+        acc / 60.0
+    };
+    // Amsterdam is UTC+0.33h; local evening ~ 20:00 local ≈ 20h sim.
+    let cahp_evening = prob_at(AsType::Cahp, 20);
+    let cahp_dawn = prob_at(AsType::Cahp, 4);
+    assert!(
+        cahp_evening > 3.0 * cahp_dawn.max(1e-9),
+        "CAHP evening {cahp_evening} vs dawn {cahp_dawn}"
+    );
+    let ec_noon = prob_at(AsType::Ec, 13);
+    let ec_dawn = prob_at(AsType::Ec, 4);
+    assert!(
+        ec_noon > 3.0 * ec_dawn.max(1e-9),
+        "EC noon {ec_noon} vs dawn {ec_dawn}"
+    );
+}

@@ -1,0 +1,63 @@
+//! Sec 5.2 in miniature: last-mile loss by AS type, region and hour.
+//!
+//! ```sh
+//! cargo run --release --example last_mile
+//! ```
+//!
+//! Probes a handful of hosts per AS type in each region with the paper's
+//! 100-packet back-to-back trains from three vantage PoPs, and prints the
+//! average loss plus the diurnal profile of lossy rounds.
+
+use vns::core::{build_vns, PopId, VnsConfig};
+use vns::geo::Region;
+use vns::netsim::{Dur, RngTree, SimTime};
+use vns::probe::{loss_train, rounds, TrainSummary};
+use vns::topo::{generate, AsType, CalibrationConfig, ChannelFactory, TopoConfig};
+
+fn main() {
+    println!("Building the world...");
+    let mut internet = generate(&TopoConfig::default()).expect("generate");
+    let vns = build_vns(&mut internet, &VnsConfig::default()).expect("converge");
+    let mut factory = ChannelFactory::new(
+        CalibrationConfig::default(),
+        RngTree::new(5).subtree("channels"),
+    );
+
+    let vantages = [PopId(9), PopId(1), PopId(7)]; // AMS, SJS, SIN
+    let schedule = rounds(SimTime::EPOCH, Dur::from_mins(60), Dur::from_days(1));
+
+    for &vp in &vantages {
+        println!("\nfrom {} (average loss over a day, 100-packet trains):", vns.pop(vp).code());
+        println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "region", "LTP", "STP", "CAHP", "EC");
+        for region in [Region::Europe, Region::NorthAmerica, Region::AsiaPacific] {
+            let mut row = format!("{:<8}", region.code());
+            for ty in AsType::ALL {
+                let hosts: Vec<u32> = internet
+                    .prefixes()
+                    .filter(|p| {
+                        p.last_mile
+                            && vns::geo::city(p.city).region == region
+                            && internet.as_info(p.origin).ty == ty
+                    })
+                    .take(4)
+                    .map(|p| p.prefix.first_host())
+                    .collect();
+                let mut summary = TrainSummary::default();
+                for ip in hosts {
+                    let Ok(path) = vns.path_via_local_exit(&internet, vp, ip) else {
+                        continue;
+                    };
+                    let label = format!("lm:{}:{}", vp.0, ip);
+                    let mut fwd = factory.channel(&path, &label);
+                    let mut rev = factory.channel(&path.reversed(), &format!("{label}:r"));
+                    for &t in &schedule {
+                        summary.add(&loss_train(&mut fwd, &mut rev, t, 100));
+                    }
+                }
+                row.push_str(&format!(" {:>7.2}%", 100.0 * summary.avg_loss_frac()));
+            }
+            println!("{row}");
+        }
+    }
+    println!("\n(compare with the paper's Table 1: CAHP > EC > STP > LTP in AP and EU, flat in NA)");
+}

@@ -1,0 +1,83 @@
+//! The paper's Sec 5.1 experiment in miniature: HD echo sessions through
+//! VNS vs through upstream transit, with loss, slot and jitter metrics.
+//!
+//! ```sh
+//! cargo run --release --example video_call
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vns::core::{build_vns, PopId, VnsConfig};
+use vns::media::{run_echo_session, SessionConfig, VideoSpec};
+use vns::netsim::{Dur, RngTree, SimTime};
+use vns::topo::{generate, CalibrationConfig, ChannelFactory, TopoConfig};
+
+fn main() {
+    println!("Building the world...");
+    let mut internet = generate(&TopoConfig::default()).expect("generate");
+    let vns = build_vns(&mut internet, &VnsConfig::default()).expect("converge");
+    let mut factory = ChannelFactory::new(
+        CalibrationConfig::default(),
+        RngTree::new(99).subtree("channels"),
+    );
+
+    let client = PopId(9); // Amsterdam, like the paper's Fig 10 view
+    let cfg = SessionConfig::default();
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    println!(
+        "\nClient at {} streaming 2-minute 1080p to every echo server, both ways:",
+        vns.pop(client).code()
+    );
+    println!(
+        "{:<6} {:<9} {:>10} {:>10} {:>12} {:>10}",
+        "echo", "via", "loss %", "slots", "jitter ms", "min RTT"
+    );
+    for echo in vns.echo_servers().to_vec() {
+        for via_vns in [true, false] {
+            let path = if via_vns {
+                vns.path_via_vns(&internet, client, echo.address())
+            } else {
+                vns.path_via_upstream(&internet, client, echo.address())
+            }
+            .expect("path resolves");
+            let label = format!("ex:{}:{}", echo.prefix, via_vns);
+            let mut fwd = factory.channel(&path, &label);
+            let mut rev = factory.channel(&path.reversed(), &format!("{label}:r"));
+            // Stream 8 sessions across the day and aggregate.
+            let mut worst = None;
+            let mut total_sent = 0u32;
+            let mut total_returned = 0u32;
+            let mut max_jitter: f64 = 0.0;
+            let mut min_rtt = f64::INFINITY;
+            let mut lossy_slots = 0usize;
+            for s in 0..8u64 {
+                let t0 = SimTime::EPOCH + Dur::from_hours(3 * s);
+                let sched = VideoSpec::HD1080.schedule(t0, cfg.duration, &mut rng);
+                let r = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
+                total_sent += r.sent;
+                total_returned += r.returned;
+                max_jitter = max_jitter.max(r.jitter_max_ms);
+                lossy_slots += r.lossy_slots();
+                if let Some(rtt) = r.min_rtt_ms {
+                    min_rtt = min_rtt.min(rtt);
+                }
+                let loss = r.rt_loss_pct();
+                if worst.is_none_or(|w: f64| loss > w) {
+                    worst = Some(loss);
+                }
+            }
+            let loss_pct = 100.0 * f64::from(total_sent - total_returned) / f64::from(total_sent);
+            println!(
+                "{:<6} {:<9} {:>9.3}% {:>10} {:>12.2} {:>8.1}ms",
+                vns.pop(echo.pop).code(),
+                if via_vns { "VNS" } else { "transit" },
+                loss_pct,
+                lossy_slots,
+                max_jitter,
+                min_rtt
+            );
+        }
+    }
+    println!("\n(the paper's rule of thumb: users start complaining above 0.15% loss)");
+}

@@ -1,0 +1,56 @@
+//! # vns — Geography-aware transport overlay for video conferencing
+//!
+//! A from-scratch Rust reproduction of *"Geography Matters: Building an
+//! Efficient Transport Network for a Better Video Conferencing
+//! Experience"* (Elmokashfi, Myakotnykh, Evang, Kvalbein, Cicic —
+//! CoNEXT 2013).
+//!
+//! The paper built and measured **VNS**: a production network-layer
+//! overlay of 11 PoPs on dedicated L2 circuits, organised as one BGP AS,
+//! whose route reflectors rewrite LOCAL_PREF from the great-circle
+//! distance between each route's egress router and the destination
+//! prefix's GeoIP location — geography-based *cold-potato* routing. This
+//! workspace rebuilds the system and every substrate its evaluation needs:
+//!
+//! * [`geo`] — great-circle math, world regions, a city table, and a
+//!   GeoIP database with the paper's documented error pathologies;
+//! * [`netsim`] — a deterministic discrete-event substrate: clock, RNG
+//!   tree, loss models (random / Gilbert–Elliott bursty / diurnal
+//!   congestion), delay samplers, blackout fault injection;
+//! * [`bgp`] — message-level BGP: full decision process, route
+//!   reflection, best-external, valley-free policies, IGP;
+//! * [`topo`] — a synthetic Internet: LTP/STP/CAHP/EC ASes in real
+//!   cities, transit/peering at interconnection sites, prefix
+//!   geolocation, data-plane path resolution, loss-profile calibration;
+//! * [`media`] — RTP-style HD video streams, echo sessions, RFC 3550
+//!   jitter, FEC and deadline-bounded retransmission;
+//! * [`probe`] — ping-style RTT probes and back-to-back loss trains;
+//! * [`core`] — **the contribution**: the VNS overlay itself.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use vns::core::{build_vns, VnsConfig};
+//! use vns::topo::{generate, TopoConfig};
+//!
+//! // A small synthetic Internet plus the VNS overlay on top of it.
+//! let mut internet = generate(&TopoConfig::tiny(42)).expect("generate");
+//! let vns = build_vns(&mut internet, &VnsConfig::default()).expect("converge");
+//!
+//! // Where does a destination prefix exit, seen from London (PoP 10)?
+//! let dst = internet.prefixes().next().unwrap().prefix.first_host();
+//! let egress = vns.egress_pop(&internet, vns::core::PopId(10), dst).unwrap();
+//! println!("London routes it out at {}", vns.pop(egress).code());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `vns-bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+pub use vns_bgp as bgp;
+pub use vns_core as core;
+pub use vns_geo as geo;
+pub use vns_media as media;
+pub use vns_netsim as netsim;
+pub use vns_probe as probe;
+pub use vns_stats as stats;
+pub use vns_topo as topo;

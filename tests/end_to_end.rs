@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: the whole pipeline from topology
+//! generation through VNS routing to data-plane measurement.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vns::core::{build_vns, PopId, VnsConfig};
+use vns::media::{run_echo_session, SessionConfig, VideoSpec};
+use vns::netsim::{Dur, RngTree, SimTime};
+use vns::probe::{loss_train, rtt_probe_std};
+use vns::topo::{generate, CalibrationConfig, ChannelFactory, Internet, TopoConfig};
+
+struct Fixture {
+    internet: Internet,
+    vns: vns::core::Vns,
+    factory: ChannelFactory,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut internet = generate(&TopoConfig::tiny(seed)).expect("generate");
+    let vns = build_vns(&mut internet, &VnsConfig::default()).expect("converge");
+    let factory = ChannelFactory::new(
+        CalibrationConfig::default(),
+        RngTree::new(seed).subtree("channels"),
+    );
+    Fixture {
+        internet,
+        vns,
+        factory,
+    }
+}
+
+#[test]
+fn media_through_vns_beats_transit() {
+    let mut f = fixture(31);
+    let client = PopId(9); // Amsterdam
+    let cfg = SessionConfig::default();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut loss = [0u32; 2]; // [vns, transit] lost packets
+    let mut sent = [0u32; 2];
+    for echo in f.vns.echo_servers().to_vec() {
+        for (i, via_vns) in [true, false].into_iter().enumerate() {
+            let path = if via_vns {
+                f.vns.path_via_vns(&f.internet, client, echo.address())
+            } else {
+                f.vns.path_via_upstream(&f.internet, client, echo.address())
+            }
+            .expect("path resolves");
+            let label = format!("t:{}:{}", echo.prefix, via_vns);
+            let mut fwd = f.factory.channel(&path, &label);
+            let mut rev = f.factory.channel(&path.reversed(), &format!("{label}:r"));
+            for s in 0..4u64 {
+                let sched = VideoSpec::HD1080.schedule(
+                    SimTime::EPOCH + Dur::from_hours(5 * s),
+                    cfg.duration,
+                    &mut rng,
+                );
+                let r = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
+                sent[i] += r.sent;
+                loss[i] += r.sent - r.returned;
+            }
+        }
+    }
+    let rate = |i: usize| f64::from(loss[i]) / f64::from(sent[i]).max(1.0);
+    assert!(
+        rate(0) < rate(1) / 3.0,
+        "VNS loss {} should be far below transit {}",
+        rate(0),
+        rate(1)
+    );
+    assert!(rate(0) < 0.001, "VNS streams are near-lossless: {}", rate(0));
+}
+
+#[test]
+fn rtt_probes_scale_with_distance() {
+    let mut f = fixture(32);
+    // Probe a European prefix from Amsterdam and from Sydney via VNS: the
+    // Sydney RTT must be much larger and roughly consistent with the
+    // speed of light in fibre.
+    let eu = f
+        .internet
+        .prefixes()
+        .find(|p| p.last_mile && vns::geo::city(p.city).region == vns::geo::Region::Europe)
+        .expect("EU prefix");
+    let (ip, loc) = (eu.prefix.first_host(), eu.location);
+    let mut results = Vec::new();
+    for pop in [PopId(9), PopId(11)] {
+        let path = f.vns.path_via_vns(&f.internet, pop, ip).expect("path");
+        let label = format!("rtt:{}", pop.0);
+        let mut fwd = f.factory.channel(&path, &label);
+        let mut rev = f.factory.channel(&path.reversed(), &format!("{label}:r"));
+        let probe = rtt_probe_std(&mut fwd, &mut rev, SimTime::EPOCH + Dur::from_hours(4));
+        results.push(probe.min_rtt_ms.expect("reachable"));
+    }
+    let (from_ams, from_syd) = (results[0], results[1]);
+    assert!(from_syd > from_ams + 100.0, "AMS {from_ams} vs SYD {from_syd}");
+    // Physical lower bound: great-circle RTT at 200 km/ms.
+    let syd_km = f.vns.pop(PopId(11)).location().distance_km(&loc);
+    assert!(
+        from_syd >= 2.0 * syd_km / 200.0,
+        "RTT {from_syd} below light-speed bound"
+    );
+}
+
+#[test]
+fn loss_trains_see_last_mile_hierarchy() {
+    let mut f = fixture(33);
+    // From Amsterdam: CAHP hosts in AP must lose much more than LTP hosts
+    // in EU (the two extremes of Table 1).
+    let pick = |ty: vns::topo::AsType, region: vns::geo::Region| -> Vec<u32> {
+        f.internet
+            .prefixes()
+            .filter(|p| {
+                p.last_mile
+                    && vns::geo::city(p.city).region == region
+                    && f.internet.as_info(p.origin).ty == ty
+            })
+            .take(5)
+            .map(|p| p.prefix.first_host())
+            .collect()
+    };
+    let cahp_ap = pick(vns::topo::AsType::Cahp, vns::geo::Region::AsiaPacific);
+    let ltp_eu = pick(vns::topo::AsType::Ltp, vns::geo::Region::Europe);
+    assert!(!cahp_ap.is_empty() && !ltp_eu.is_empty());
+    let mut rates = Vec::new();
+    for hosts in [&cahp_ap, &ltp_eu] {
+        let mut lost = 0u64;
+        let mut sent = 0u64;
+        for &ip in hosts.iter() {
+            let Ok(path) = f.vns.path_via_local_exit(&f.internet, PopId(9), ip) else {
+                continue;
+            };
+            let label = format!("lt:{ip}");
+            let mut fwd = f.factory.channel(&path, &label);
+            let mut rev = f.factory.channel(&path.reversed(), &format!("{label}:r"));
+            for r in 0..48u64 {
+                let t = SimTime::EPOCH + Dur::from_mins(30 * r);
+                let train = loss_train(&mut fwd, &mut rev, t, 100);
+                lost += u64::from(train.lost);
+                sent += u64::from(train.sent);
+            }
+        }
+        rates.push(lost as f64 / sent.max(1) as f64);
+    }
+    assert!(
+        rates[0] > 4.0 * rates[1],
+        "CAHP/AP {} should dwarf LTP/EU {}",
+        rates[0],
+        rates[1]
+    );
+}
+
+#[test]
+fn anycast_and_media_path_compose() {
+    let f = fixture(34);
+    // Every prefix can place a relayed call to every fifth other prefix.
+    let metas: Vec<u32> = f
+        .internet
+        .prefixes()
+        .filter(|p| p.last_mile)
+        .map(|p| p.prefix.first_host())
+        .collect();
+    let mut ok = 0;
+    let mut total = 0;
+    for (i, &caller) in metas.iter().enumerate().take(25) {
+        let callee = metas[(i * 5 + 3) % metas.len()];
+        if caller == callee {
+            continue;
+        }
+        total += 1;
+        if f.vns.media_path(&f.internet, caller, callee).is_ok() {
+            ok += 1;
+        }
+    }
+    assert_eq!(ok, total, "all relayed calls resolve ({ok}/{total})");
+}
+
+#[test]
+fn whole_world_is_deterministic() {
+    let run = |seed: u64| {
+        let mut f = fixture(seed);
+        let echo = f.vns.echo_servers()[2];
+        let path = f
+            .vns
+            .path_via_upstream(&f.internet, PopId(1), echo.address())
+            .expect("path");
+        let mut fwd = f.factory.channel(&path, "det");
+        let mut rev = f.factory.channel(&path.reversed(), "det:r");
+        let mut rng = SmallRng::seed_from_u64(9);
+        let sched =
+            VideoSpec::HD720.schedule(SimTime::EPOCH, Dur::from_secs(60), &mut rng);
+        let cfg = SessionConfig::default();
+        let r = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
+        (
+            r.sent,
+            r.returned,
+            r.slot_losses.clone(),
+            path.total_km().to_bits(),
+        )
+    };
+    assert_eq!(run(35), run(35));
+}
+
+#[test]
+fn hot_and_cold_modes_share_the_same_internet() {
+    // The same topology seed yields identical prefixes regardless of VNS
+    // mode — before/after comparisons are apples to apples.
+    let mut a = generate(&TopoConfig::tiny(36)).unwrap();
+    let mut b = generate(&TopoConfig::tiny(36)).unwrap();
+    let _vns_a = build_vns(&mut a, &VnsConfig::default()).unwrap();
+    let _vns_b = build_vns(&mut b, &VnsConfig::default().before()).unwrap();
+    let pa: Vec<_> = a.prefixes().map(|p| (p.prefix, p.city)).collect();
+    let pb: Vec<_> = b.prefixes().map(|p| (p.prefix, p.city)).collect();
+    assert_eq!(pa, pb);
+}

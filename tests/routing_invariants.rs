@@ -1,0 +1,153 @@
+//! Routing-plane invariants that must hold for any seed: loop-freedom,
+//! dedicated-circuit usage, geo-proximity improvement, and anycast
+//! reachability.
+
+use vns::core::{build_vns, RoutingMode, VnsConfig};
+use vns::topo::{generate, HopKind, Internet, TopoConfig};
+
+fn world(seed: u64, mode: RoutingMode) -> (Internet, vns::core::Vns) {
+    let mut internet = generate(&TopoConfig::tiny(seed)).expect("generate");
+    let cfg = VnsConfig {
+        mode,
+        ..VnsConfig::default()
+    };
+    let vns = build_vns(&mut internet, &cfg).expect("converge");
+    (internet, vns)
+}
+
+#[test]
+fn no_forwarding_loops_anywhere() {
+    for seed in [41, 42] {
+        let (internet, vns) = world(seed, RoutingMode::GeoColdPotato);
+        let mut resolved = 0;
+        for pinfo in internet.prefixes() {
+            let ip = pinfo.prefix.first_host();
+            for pop in vns.pops() {
+                match vns.path_via_vns(&internet, pop.id(), ip) {
+                    Ok(path) => {
+                        resolved += 1;
+                        // A resolved path's router list never repeats.
+                        let set: std::collections::BTreeSet<_> =
+                            path.routers.iter().collect();
+                        assert_eq!(set.len(), path.routers.len(), "seed {seed}");
+                    }
+                    Err(e) => panic!("seed {seed}: {} from {}: {e}", pinfo.prefix, pop.code()),
+                }
+            }
+        }
+        assert!(resolved > 500, "resolved {resolved}");
+    }
+}
+
+#[test]
+fn vns_interior_is_dedicated_until_egress() {
+    let (internet, vns) = world(43, RoutingMode::GeoColdPotato);
+    for pinfo in internet.prefixes().step_by(7) {
+        let ip = pinfo.prefix.first_host();
+        let Ok(path) = vns.path_via_vns(&internet, vns::core::PopId(4), ip) else {
+            continue;
+        };
+        // Once a shared hop appears, no dedicated hop may follow: traffic
+        // released to the Internet never re-enters the overlay.
+        let mut released = false;
+        for hop in &path.hops {
+            match hop.kind {
+                HopKind::IntraAs { dedicated: true, .. } => {
+                    assert!(!released, "re-entered VNS after release: {}", hop.label);
+                }
+                HopKind::IntraAs { dedicated: false, .. } | HopKind::LastMile { .. } => {
+                    released = true;
+                }
+                HopKind::InterAs { .. } => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn geo_mode_improves_geographic_proximity_of_egress() {
+    let (i_geo, v_geo) = world(44, RoutingMode::GeoColdPotato);
+    let (i_hot, v_hot) = world(44, RoutingMode::HotPotato);
+    let from = vns::core::PopId(10);
+    let mean_excess = |internet: &Internet, v: &vns::core::Vns| {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for p in internet.prefixes().filter(|p| p.last_mile) {
+            let Some(egress) = v.egress_pop(internet, from, p.prefix.first_host()) else {
+                continue;
+            };
+            let sel = v.pop(egress).location().distance_km(&p.location);
+            let best = v
+                .pop(v.nearest_pop(p.location))
+                .location()
+                .distance_km(&p.location);
+            acc += sel - best;
+            n += 1;
+        }
+        acc / n.max(1) as f64
+    };
+    let geo = mean_excess(&i_geo, &v_geo);
+    let hot = mean_excess(&i_hot, &v_hot);
+    assert!(
+        geo < hot / 3.0,
+        "geo mode must slash egress displacement: geo {geo} km vs hot {hot} km"
+    );
+}
+
+#[test]
+fn anycast_reachable_from_every_stub() {
+    let (internet, vns) = world(45, RoutingMode::GeoColdPotato);
+    let mut reached = 0;
+    let mut total = 0;
+    for p in internet.prefixes().filter(|p| p.last_mile) {
+        total += 1;
+        if vns.anycast_landing(&internet, p.prefix.first_host()).is_ok() {
+            reached += 1;
+        }
+    }
+    assert_eq!(reached, total, "anycast must be globally reachable");
+}
+
+#[test]
+fn reversed_paths_mirror_forward_paths() {
+    let (internet, vns) = world(46, RoutingMode::GeoColdPotato);
+    let p = internet.prefixes().nth(10).unwrap();
+    let path = vns
+        .path_via_vns(&internet, vns::core::PopId(1), p.prefix.first_host())
+        .unwrap();
+    let rev = path.reversed();
+    assert_eq!(path.hops.len(), rev.hops.len());
+    assert!((path.total_km() - rev.total_km()).abs() < 1e-9);
+    for (f, r) in path.hops.iter().zip(rev.hops.iter().rev()) {
+        assert_eq!(f.from_city, r.to_city);
+        assert_eq!(f.to_city, r.from_city);
+        assert_eq!(f.label, r.label, "labels shared for blackout coupling");
+    }
+}
+
+#[test]
+fn egress_matches_data_plane() {
+    // The egress PoP reported from the Loc-RIB view must be the last VNS
+    // PoP on the resolved data-plane path.
+    let (internet, vns) = world(47, RoutingMode::GeoColdPotato);
+    let from = vns::core::PopId(9);
+    let mut checked = 0;
+    for p in internet.prefixes().filter(|p| p.last_mile).step_by(5) {
+        let ip = p.prefix.first_host();
+        let Some(egress) = vns.egress_pop(&internet, from, ip) else {
+            continue;
+        };
+        let Ok(path) = vns.path_via_vns(&internet, from, ip) else {
+            continue;
+        };
+        let last_vns_pop = path
+            .routers
+            .iter()
+            .rev()
+            .find_map(|r| vns.pop_of_router(*r))
+            .expect("path starts inside VNS");
+        assert_eq!(egress, last_vns_pop, "prefix {}", p.prefix);
+        checked += 1;
+    }
+    assert!(checked >= 25, "checked {checked}");
+}
