@@ -27,8 +27,8 @@ fn bench_event_engine(c: &mut Criterion) {
                     ctx.schedule_in(Dur::from_micros(1), ev);
                 }
             });
-            black_box(n)
-        })
+            black_box(n);
+        });
     });
 }
 
@@ -36,7 +36,7 @@ fn bench_great_circle(c: &mut Criterion) {
     let a = GeoPoint::new(52.37, 4.90);
     let bpt = GeoPoint::new(1.35, 103.82);
     c.bench_function("geo/great_circle", |b| {
-        b.iter(|| black_box(vns_geo::great_circle_km(black_box(a), black_box(bpt))))
+        b.iter(|| black_box(vns_geo::great_circle_km(black_box(a), black_box(bpt))));
     });
 }
 
@@ -52,8 +52,8 @@ fn bench_trie_lpm(c: &mut Criterion) {
         let mut ip = 0u32;
         b.iter(|| {
             ip = ip.wrapping_add(0x9e37_79b9);
-            black_box(trie.lookup(black_box(ip)))
-        })
+            black_box(trie.lookup(black_box(ip)));
+        });
     });
 }
 
@@ -80,7 +80,7 @@ fn bench_decision(c: &mut Criterion) {
     let b2 = mk(100, 3, 9);
     let ctx = DecisionContext::no_igp();
     c.bench_function("bgp/compare_routes", |b| {
-        b.iter(|| black_box(compare_routes(black_box(&a), black_box(&b2), &ctx)))
+        b.iter(|| black_box(compare_routes(black_box(&a), black_box(&b2), &ctx)));
     });
 }
 
@@ -91,8 +91,8 @@ fn bench_loss_process(c: &mut Criterion) {
         let mut t = SimTime::EPOCH;
         b.iter(|| {
             t += Dur::from_millis(2);
-            black_box(p.packet_lost(t))
-        })
+            black_box(p.packet_lost(t));
+        });
     });
 }
 
@@ -100,7 +100,7 @@ fn bench_topology(c: &mut Criterion) {
     let mut g = c.benchmark_group("world");
     g.sample_size(10);
     g.bench_function(BenchmarkId::new("generate+converge", "scale0.45"), |b| {
-        b.iter(|| black_box(World::geo(black_box(3), 0.45)))
+        b.iter(|| black_box(World::geo(black_box(3), 0.45)));
     });
     g.finish();
 }
@@ -113,8 +113,8 @@ fn bench_path_resolution(c: &mut Criterion) {
         b.iter(|| {
             let m = &metas[i % metas.len()];
             i += 1;
-            black_box(world.vns.path_via_vns(&world.internet, PopId(9), m.ip).ok())
-        })
+            black_box(world.vns.path_via_vns(&world.internet, PopId(9), m.ip).ok());
+        });
     });
 }
 
@@ -137,8 +137,8 @@ fn bench_media_session(c: &mut Criterion) {
         b.iter(|| {
             t += Dur::from_mins(30);
             let sched = VideoSpec::HD1080.schedule(t, cfg.duration, &mut rng);
-            black_box(run_echo_session(&sched, &cfg, &mut fwd, &mut rev))
-        })
+            black_box(run_echo_session(&sched, &cfg, &mut fwd, &mut rev));
+        });
     });
     g.finish();
 }

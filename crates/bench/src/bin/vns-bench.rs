@@ -50,21 +50,31 @@ fn parse_args() -> Result<Opts, String> {
                 .ok_or_else(|| format!("missing value after {name}"))
         };
         match a.as_str() {
-            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
             "--scale" => {
-                opts.scale = take("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+                opts.scale = take("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
             }
             "--sessions" => {
                 opts.sessions = take("--sessions")?
                     .parse()
-                    .map_err(|e| format!("--sessions: {e}"))?
+                    .map_err(|e| format!("--sessions: {e}"))?;
             }
             "--hosts" => {
                 opts.hosts_per_cell = take("--hosts")?
                     .parse()
-                    .map_err(|e| format!("--hosts: {e}"))?
+                    .map_err(|e| format!("--hosts: {e}"))?;
             }
-            "--days" => opts.days = take("--days")?.parse().map_err(|e| format!("--days: {e}"))?,
+            "--days" => {
+                opts.days = take("--days")?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?;
+            }
             "--out" => opts.out = Some(std::path::PathBuf::from(take("--out")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             cmd if !cmd.starts_with('-') && opts.cmd.is_empty() => opts.cmd = cmd.to_string(),
@@ -170,24 +180,60 @@ fn run_one(opts: &Opts, cmd: &str) -> Result<(), String> {
         }
         "jitter" => {
             let mut w = World::geo(opts.seed, opts.scale);
-            emit(opts, cmd, jitter::run(&mut w, opts.sessions.min(20)).to_string())?;
+            emit(
+                opts,
+                cmd,
+                jitter::run(&mut w, opts.sessions.min(20)).to_string(),
+            )?;
         }
-        "ablate-lp" => emit(opts, cmd, ablate::lp_shape(opts.seed, opts.scale).to_string())?,
+        "ablate-lp" => emit(
+            opts,
+            cmd,
+            ablate::lp_shape(opts.seed, opts.scale).to_string(),
+        )?,
         "ablate-best-external" => {
-            emit(opts, cmd, ablate::best_external(opts.seed, opts.scale).to_string())?
+            emit(
+                opts,
+                cmd,
+                ablate::best_external(opts.seed, opts.scale).to_string(),
+            )?;
         }
         "ablate-geoip" => emit(opts, cmd, ablate::geoip(opts.seed, opts.scale).to_string())?,
         "ablate-fec" => emit(opts, cmd, ablate::fec_arq(opts.seed).to_string())?,
-        "ablate-l2" => emit(opts, cmd, ablate::l2_topology(opts.seed, opts.scale).to_string())?,
-        "ablate-mode" => emit(opts, cmd, ablate::mode_delay(opts.seed, opts.scale).to_string())?,
+        "ablate-l2" => emit(
+            opts,
+            cmd,
+            ablate::l2_topology(opts.seed, opts.scale).to_string(),
+        )?,
+        "ablate-mode" => emit(
+            opts,
+            cmd,
+            ablate::mode_delay(opts.seed, opts.scale).to_string(),
+        )?,
         "ablate-measurement" => {
-            emit(opts, cmd, ablate::geo_vs_measurement(opts.seed, opts.scale).to_string())?
+            emit(
+                opts,
+                cmd,
+                ablate::geo_vs_measurement(opts.seed, opts.scale).to_string(),
+            )?;
         }
         "ablate-auto-override" => {
-            emit(opts, cmd, ablate::auto_override(opts.seed, opts.scale, 30.0).to_string())?
+            emit(
+                opts,
+                cmd,
+                ablate::auto_override(opts.seed, opts.scale, 30.0).to_string(),
+            )?;
         }
-        "economics" => emit(opts, cmd, ablate::economics(opts.seed, opts.scale).to_string())?,
-        "setup-time" => emit(opts, cmd, ablate::setup_time(opts.seed, opts.scale).to_string())?,
+        "economics" => emit(
+            opts,
+            cmd,
+            ablate::economics(opts.seed, opts.scale).to_string(),
+        )?,
+        "setup-time" => emit(
+            opts,
+            cmd,
+            ablate::setup_time(opts.seed, opts.scale).to_string(),
+        )?,
         "all" => {
             // Share worlds/campaigns where possible to keep `all` fast.
             let before = World::hot(opts.seed, opts.scale);

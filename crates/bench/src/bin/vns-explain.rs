@@ -43,7 +43,11 @@ fn main() {
         metas.len(),
         pop_code
     );
-    for m in metas.iter().step_by((metas.len() / count).max(1)).take(count) {
+    for m in metas
+        .iter()
+        .step_by((metas.len() / count).max(1))
+        .take(count)
+    {
         println!(
             "\n=== {} ({} {}, geoip err {:.0} km)",
             m.prefix,
@@ -53,7 +57,10 @@ fn main() {
         );
         for (tag, path) in [
             ("via VNS     ", w.vns.path_via_vns(&w.internet, pop, m.ip)),
-            ("local exit  ", w.vns.path_via_local_exit(&w.internet, pop, m.ip)),
+            (
+                "local exit  ",
+                w.vns.path_via_local_exit(&w.internet, pop, m.ip),
+            ),
         ] {
             match path {
                 Ok(p) => {

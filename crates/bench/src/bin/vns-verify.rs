@@ -1,0 +1,105 @@
+//! `vns-verify` — static control-plane invariant checker CLI.
+//!
+//! ```text
+//! vns-verify [--seed N] [--scale F] [--mode geo|hot] [--quiet]
+//! ```
+//!
+//! Builds the standard world (generated Internet + VNS deployment, same
+//! knobs as `vns-bench`), runs every `vns-verify` invariant against the
+//! converged control plane, pretty-prints the report and exits nonzero
+//! when any error-severity violation exists. Use it before a long
+//! campaign run, or after hand-editing deployment knobs, to catch a
+//! misconfigured control plane in seconds instead of hours.
+
+use std::process::ExitCode;
+
+use vns_bench::{World, WorldConfig};
+use vns_core::RoutingMode;
+
+#[derive(Debug, Clone)]
+struct Opts {
+    seed: u64,
+    scale: f64,
+    mode: RoutingMode,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: vns-verify [--seed N] [--scale F] [--mode geo|hot] [--quiet]";
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        seed: 77,
+        scale: 1.0,
+        mode: RoutingMode::GeoColdPotato,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value after {name}"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--scale" => {
+                opts.scale = take("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--mode" => {
+                opts.mode = match take("--mode")?.as_str() {
+                    "geo" => RoutingMode::GeoColdPotato,
+                    "hot" => RoutingMode::HotPotato,
+                    other => return Err(format!("--mode: expected geo|hot, got {other}")),
+                }
+            }
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Opts) -> ExitCode {
+    let timer = std::time::Instant::now();
+    eprintln!(
+        "== vns-verify (seed {}, scale {}, mode {:?}) ==",
+        opts.seed, opts.scale, opts.mode
+    );
+    let mut cfg = WorldConfig {
+        seed: opts.seed,
+        scale: opts.scale,
+        ..WorldConfig::default()
+    };
+    cfg.vns.mode = opts.mode;
+    let world = World::build(cfg);
+    let report = vns_verify::verify(&world.internet, &world.vns);
+    if !opts.quiet || !report.passes() {
+        print!("{}", report.render());
+    }
+    eprintln!(
+        "== checked {} speakers in {:.2}s ==",
+        world.internet.net.speaker_ids().count(),
+        timer.elapsed().as_secs_f64()
+    );
+    if report.passes() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+        Ok(opts) => run(&opts),
+    }
+}

@@ -11,6 +11,26 @@ use vns_topo::{AsType, ResolvedPath};
 
 use crate::world::World;
 
+/// Fail-fast pre-flight: audits the converged control plane with
+/// `vns-verify`'s static invariants before a campaign spends simulated
+/// hours of packets on it. A deployment that converged into a broken
+/// state (stale overrides, leaked `NO_EXPORT`, unresolvable next hops, …)
+/// produces figures that look plausible and are quietly wrong — better to
+/// die here with the report.
+///
+/// # Panics
+/// Panics with the rendered violation report when any error-severity
+/// violation exists. Warnings (e.g. hidden routes on a deployment that
+/// deliberately disabled best-external for the ablation) pass.
+pub fn assert_control_plane(world: &World) {
+    let report = vns_verify::verify(&world.internet, &world.vns);
+    assert!(
+        report.passes(),
+        "control-plane pre-flight failed:\n{}",
+        report.render()
+    );
+}
+
 /// Everything an experiment needs to know about a probed prefix.
 #[derive(Debug, Clone)]
 pub struct PrefixMeta {
@@ -57,9 +77,15 @@ pub fn prefix_metas(world: &World) -> Vec<PrefixMeta> {
 }
 
 /// Builds a forward/return channel pair for a resolved path.
-pub fn channel_pair(world: &mut World, path: &ResolvedPath, label: &str) -> (PathChannel, PathChannel) {
+pub fn channel_pair(
+    world: &mut World,
+    path: &ResolvedPath,
+    label: &str,
+) -> (PathChannel, PathChannel) {
     let fwd = world.factory.channel(path, &format!("{label}:fwd"));
-    let rev = world.factory.channel(&path.reversed(), &format!("{label}:rev"));
+    let rev = world
+        .factory
+        .channel(&path.reversed(), &format!("{label}:rev"));
     (fwd, rev)
 }
 
@@ -98,6 +124,7 @@ pub fn rtt_matrix(
     pops: &[PopId],
     t: SimTime,
 ) -> Vec<Vec<Option<f64>>> {
+    assert_control_plane(world);
     metas
         .iter()
         .map(|m| {
@@ -144,6 +171,7 @@ pub fn media_campaign(
     sessions_per_arm: usize,
     start: SimTime,
 ) -> Vec<(MediaArm, SessionReport)> {
+    assert_control_plane(world);
     let cfg = SessionConfig::default();
     let echo: Vec<(PopId, Region, u32)> = world
         .vns
@@ -173,7 +201,10 @@ pub fn media_campaign(
                     world.vns.path_via_upstream(&world.internet, client, addr)
                 };
                 let Ok(path) = path else { continue };
-                let label = format!("media:{}:{}:{}:{}", spec.name, client.0, echo_pop.0, via_vns);
+                let label = format!(
+                    "media:{}:{}:{}:{}",
+                    spec.name, client.0, echo_pop.0, via_vns
+                );
                 let (mut fwd, mut rev) = channel_pair(world, &path, &label);
                 for s in 0..sessions_per_arm {
                     let t0 = start + Dur::from_mins(30).mul(s as u64);
@@ -259,6 +290,7 @@ pub fn lastmile_campaign(
     interval: Dur,
     span: Dur,
 ) -> Vec<TrainRecord> {
+    assert_control_plane(world);
     let rounds = vns_probe::rounds(SimTime::EPOCH, interval, span);
     let mut out = Vec::with_capacity(pops.len() * hosts.len() * rounds.len());
     for &pop in pops {

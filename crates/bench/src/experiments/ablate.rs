@@ -160,7 +160,11 @@ pub fn geoip(seed: u64, scale: f64) -> Ablation {
     let vns = vns_core::build_vns(&mut internet, &cfg.vns).expect("vns");
     let world_perfect = world_from(internet, vns, cfg.clone());
     let (frac, excess) = precision_all(&world_perfect);
-    table.push(["perfect".into(), vns_stats::pct(frac), format!("{excess:.0}")]);
+    table.push([
+        "perfect".into(),
+        vns_stats::pct(frac),
+        format!("{excess:.0}"),
+    ]);
     values.push(("perfect".into(), frac));
 
     // Erroneous database (default).
@@ -171,7 +175,11 @@ pub fn geoip(seed: u64, scale: f64) -> Ablation {
     };
     let world_err = World::build(cfg.clone());
     let (frac, excess) = precision_all(&world_err);
-    table.push(["with errors".into(), vns_stats::pct(frac), format!("{excess:.0}")]);
+    table.push([
+        "with errors".into(),
+        vns_stats::pct(frac),
+        format!("{excess:.0}"),
+    ]);
     values.push(("with errors".into(), frac));
 
     // Erroneous + management overrides: exempt every prefix whose GeoIP
@@ -348,14 +356,20 @@ pub fn l2_topology(seed: u64, scale: f64) -> Ablation {
                     continue;
                 }
                 let costs = igp.shortest_costs(a.borders[0]);
-                let Some(&c) = costs.get(&b.borders[0]) else { continue };
+                let Some(&c) = costs.get(&b.borders[0]) else {
+                    continue;
+                };
                 let gc = a.location().distance_km(&b.location()).max(1.0);
                 stretch += c as f64 / gc;
                 pairs += 1;
             }
         }
         let mean_stretch = stretch / pairs.max(1) as f64;
-        let name = if full_mesh { "full mesh" } else { "clusters (paper)" };
+        let name = if full_mesh {
+            "full mesh"
+        } else {
+            "clusters (paper)"
+        };
         table.push([
             name.to_string(),
             circuits.len().to_string(),
@@ -475,7 +489,10 @@ pub fn geo_vs_measurement(seed: u64, scale: f64) -> Ablation {
         table,
         values: vec![
             ("geo".into(), geo_good as f64 / judged.max(1) as f64),
-            ("measurement".into(), meas_good as f64 / judged.max(1) as f64),
+            (
+                "measurement".into(),
+                meas_good as f64 / judged.max(1) as f64,
+            ),
         ],
     }
 }
@@ -610,7 +627,9 @@ pub fn setup_time(seed: u64, scale: f64) -> Ablation {
         for &client in &clients {
             for echo in world.vns.echo_servers().to_vec() {
                 let path = if via_vns {
-                    world.vns.path_via_vns(&world.internet, client, echo.address())
+                    world
+                        .vns
+                        .path_via_vns(&world.internet, client, echo.address())
                 } else {
                     world
                         .vns
@@ -619,7 +638,9 @@ pub fn setup_time(seed: u64, scale: f64) -> Ablation {
                 let Ok(path) = path else { continue };
                 let label = format!("sip:{}:{}:{}", client.0, echo.prefix, via_vns);
                 let mut fwd = world.factory.channel(&path, &label);
-                let mut rev = world.factory.channel(&path.reversed(), &format!("{label}:r"));
+                let mut rev = world
+                    .factory
+                    .channel(&path.reversed(), &format!("{label}:r"));
                 for s in 0..40u64 {
                     let t = SimTime::EPOCH + Dur::from_mins(31 * s);
                     let r = setup_call(&mut fwd, &mut rev, t);

@@ -67,8 +67,7 @@ pub fn run(data: &LastMileData) -> Fig11 {
         let code = VANTAGES
             .iter()
             .find(|(_, id)| PopId(*id) == rec.pop)
-            .map(|(c, _)| *c)
-            .unwrap_or("?");
+            .map_or("?", |(c, _)| *c);
         let key = (code.to_string(), host.region.code().to_string());
         let e = sums.entry(key).or_default();
         e.0 += u64::from(rec.train.lost);
@@ -113,7 +112,10 @@ impl Fig11 {
 
 impl std::fmt::Display for Fig11 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "## Fig 11 — average last-mile loss by PoP and destination region")?;
+        writeln!(
+            f,
+            "## Fig 11 — average last-mile loss by PoP and destination region"
+        )?;
         writeln!(f, "{}", self.table)?;
         let eu_pops = ["AMS", "FRA", "OSL"];
         let ap_pops = ["HKG", "SIN", "SYD"];
@@ -134,8 +136,7 @@ impl std::fmt::Display for Fig11 {
         let lon = self.loss("LON", Region::Europe).unwrap_or(0.0);
         writeln!(
             f,
-            "LON->EU = {:.2}% vs other-EU->EU = {:.2}% (paper: London ≈ 2×, the US-upstream detour)",
-            lon, eu_to_eu
+            "LON->EU = {lon:.2}% vs other-EU->EU = {eu_to_eu:.2}% (paper: London ≈ 2×, the US-upstream detour)"
         )
     }
 }

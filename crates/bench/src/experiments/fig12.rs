@@ -53,8 +53,11 @@ pub fn run(data: &LastMileData) -> Fig12 {
                     hist.record(rec.train.at.local_hour(CET_OFFSET_HOURS));
                 }
             }
-            let rows: Vec<(f64, f64)> =
-                hist.rows().into_iter().map(|(h, c)| (h, c as f64)).collect();
+            let rows: Vec<(f64, f64)> = hist
+                .rows()
+                .into_iter()
+                .map(|(h, c)| (h, c as f64))
+                .collect();
             let peak = rows.iter().map(|r| r.1).fold(0.0, f64::max);
             let trough = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
             swing.push((ty, region, peak / trough.max(1.0)));
@@ -71,8 +74,7 @@ impl Fig12 {
         self.swing
             .iter()
             .find(|(t, r, _)| *t == ty && *r == region)
-            .map(|(_, _, s)| *s)
-            .unwrap_or(0.0)
+            .map_or(0.0, |(_, _, s)| *s)
     }
 
     /// Hour (CET) of peak loss frequency for one (type, region).

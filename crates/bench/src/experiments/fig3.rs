@@ -74,7 +74,13 @@ pub fn run(world: &mut World) -> Fig3 {
         // Region classification: region of the geo-nearest PoP (the
         // paper's "prefixes reported closer to PoPs in the indicated
         // region").
-        let code = match world.vns.pop(pops[geo_pop_idx]).spec.region.measurement_region() {
+        let code = match world
+            .vns
+            .pop(pops[geo_pop_idx])
+            .spec
+            .region
+            .measurement_region()
+        {
             Region::Europe => "EU",
             Region::NorthAmerica => "NA",
             _ => "AP",

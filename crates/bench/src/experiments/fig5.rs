@@ -108,10 +108,7 @@ pub fn run(before_world: &World, after_world: &World) -> Fig5 {
             .collect(),
     ));
 
-    let upstream1 = rows
-        .first()
-        .map(|r| (r.2, r.3))
-        .unwrap_or((0.0, 0.0));
+    let upstream1 = rows.first().map_or((0.0, 0.0), |r| (r.2, r.3));
     Fig5 {
         neighbors: rows,
         transit_share_before: transit_share(&cb, tb),

@@ -78,7 +78,9 @@ pub fn run(world: &mut World, rounds: usize) -> Fig6 {
         let le50 = cdf.at(50.0);
         figure.push(Series::new(
             code,
-            cdf.sample_at(&[-300.0, -200.0, -100.0, -50.0, 0.0, 50.0, 100.0, 200.0, 300.0]),
+            cdf.sample_at(&[
+                -300.0, -200.0, -100.0, -50.0, 0.0, 50.0, 100.0, 200.0, 300.0,
+            ]),
         ));
         per_pop.push((code.to_string(), cdf, le0, le50));
     }

@@ -33,7 +33,10 @@ pub fn run(world: &World) -> Fig7 {
         let Ok((pop, _)) = world.vns.anycast_landing(&world.internet, m.ip) else {
             continue;
         };
-        let src = Region::ALL.iter().position(|r| *r == m.region).expect("region");
+        let src = Region::ALL
+            .iter()
+            .position(|r| *r == m.region)
+            .expect("region");
         let dst = PopRegion::ALL
             .iter()
             .position(|r| *r == world.vns.pop(pop).spec.region)
@@ -69,9 +72,15 @@ impl Fig7 {
     /// Fraction of a source region's requests landing in its home PoP
     /// region.
     pub fn home_fraction(&self, region: Region) -> f64 {
-        let si = Region::ALL.iter().position(|r| *r == region).expect("region");
+        let si = Region::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("region");
         let home = region.home_pop_region();
-        let di = PopRegion::ALL.iter().position(|r| *r == home).expect("pop region");
+        let di = PopRegion::ALL
+            .iter()
+            .position(|r| *r == home)
+            .expect("pop region");
         self.matrix[si][di]
     }
 

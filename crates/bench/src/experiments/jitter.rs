@@ -74,10 +74,9 @@ pub fn run(world: &mut World, sessions_per_arm: usize) -> Jitter {
 impl std::fmt::Display for Jitter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "## Sec 5.1.1 — jitter")?;
-        for (name, (vns, transit), paper) in [
-            ("1080p", self.hd1080, "99%"),
-            ("720p", self.hd720, "97%"),
-        ] {
+        for (name, (vns, transit), paper) in
+            [("1080p", self.hd1080, "99%"), ("720p", self.hd720, "97%")]
+        {
             writeln!(
                 f,
                 "{name}: sub-10ms in {} (VNS) / {} (transit), sub-20ms {} / {} — paper: sub-10ms in {paper}, VNS ≈ transit",

@@ -148,10 +148,7 @@ fn fig9_vns_eliminates_stream_loss() {
     for client in ["AMS", "SJS", "SYD"] {
         let t = r.frac_over_150m(client, "AP", false);
         let i = r.frac_over_150m(client, "AP", true);
-        assert!(
-            t > i,
-            "{client}: transit {t} should exceed VNS {i}"
-        );
+        assert!(t > i, "{client}: transit {t} should exceed VNS {i}");
     }
 }
 
@@ -195,7 +192,10 @@ fn table1_and_fig11_last_mile_shapes() {
     );
     // Loss to AP from anywhere exceeds loss to EU from EU.
     let to_ap = f11.mean_loss(&["AMS", "FRA", "OSL", "ATL", "SJS"], Region::AsiaPacific);
-    assert!(to_ap > 1.5 * other_eu, "to AP {to_ap} vs EU-local {other_eu}");
+    assert!(
+        to_ap > 1.5 * other_eu,
+        "to AP {to_ap} vs EU-local {other_eu}"
+    );
 }
 
 #[test]
@@ -205,8 +205,7 @@ fn ablation_fec_vs_arq_crossover() {
         a.values
             .iter()
             .find(|(l, _)| l == label)
-            .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("missing {label}"))
+            .map_or_else(|| panic!("missing {label}"), |(_, v)| *v)
     };
     // FEC repairs random loss well but bursty loss poorly (paper Sec 2).
     assert!(get("random 1%:fec") < get("random 1%:raw") / 5.0);
@@ -299,12 +298,7 @@ fn fig12_ap_masking_effect() {
     // waking hours (~09:00–24:00 local ≈ 02:00–17:00 CET), not in AP's
     // night — regardless of the SJS vantage's own clock.
     for ty in [AsType::Cahp, AsType::Stp] {
-        let panel = &r
-            .panels
-            .iter()
-            .find(|(t, _)| *t == ty)
-            .expect("panel")
-            .1;
+        let panel = &r.panels.iter().find(|(t, _)| *t == ty).expect("panel").1;
         let series = panel
             .series_named(Region::AsiaPacific.code())
             .expect("AP series");
@@ -331,8 +325,7 @@ fn economics_shapes() {
         a.values
             .iter()
             .find(|(l, _)| l == label)
-            .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("missing {label}"))
+            .map_or_else(|| panic!("missing {label}"), |(_, v)| *v)
     };
     // Economies of scale: cost/Mbps falls steeply with volume.
     assert!(get("per_mbps@6400") < get("per_mbps@100") / 10.0);
@@ -348,8 +341,7 @@ fn setup_time_shapes() {
         a.values
             .iter()
             .find(|(l, _)| l == label)
-            .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("missing {label}"))
+            .map_or_else(|| panic!("missing {label}"), |(_, v)| *v)
     };
     // Lossy transit signalling needs at least as many SIP retransmissions
     // as VNS signalling.
@@ -402,5 +394,8 @@ fn definitions_do_not_change_the_loss_story() {
     // order of magnitude.
     let (t1080, t720) = (means[0].1, means[1].1);
     let ratio = t1080.max(t720) / t1080.min(t720).max(1e-9);
-    assert!(ratio < 5.0, "definitions diverge: 1080p {t1080} vs 720p {t720}");
+    assert!(
+        ratio < 5.0,
+        "definitions diverge: 1080p {t1080} vs 720p {t720}"
+    );
 }

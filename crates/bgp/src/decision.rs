@@ -15,9 +15,9 @@
 
 use std::cmp::Ordering;
 
-use crate::route::{RouteAttrs, RouteSource};
 #[cfg(test)]
 use crate::route::SpeakerId;
+use crate::route::{RouteAttrs, RouteSource};
 
 /// A candidate route as held in an Adj-RIB-In.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +61,7 @@ impl DecisionContext<'_> {
 /// Sender router id used for the final tie-break: the announcing peer, or
 /// self for local routes (locals always win earlier steps anyway).
 fn sender_id(c: &Candidate) -> u32 {
-    c.source.peer().map(|p| p.0).unwrap_or(0)
+    c.source.peer().map_or(0, |p| p.0)
 }
 
 /// Compares two candidates; `Ordering::Greater` means `a` is preferred.
@@ -222,8 +222,7 @@ mod tests {
     fn igp_metric_hot_potato() {
         // Two iBGP routes to next hops 10 (cost 5) and 20 (cost 50): hot
         // potato picks the nearer egress.
-        let costs =
-            |c: &Candidate| Some(if c.attrs.next_hop.0 == 10 { 5 } else { 50 });
+        let costs = |c: &Candidate| Some(if c.attrs.next_hop.0 == 10 { 5 } else { 50 });
         let ctx = DecisionContext { exit_cost: &costs };
         let mut a = cand(100, vec![1, 2], ibgp(3));
         a.attrs.next_hop = SpeakerId(10);
@@ -285,7 +284,7 @@ mod tests {
     #[test]
     fn select_best_works() {
         let ctx = DecisionContext::no_igp();
-        let cands = vec![
+        let cands = [
             cand(100, vec![1, 2], ebgp(2)),
             cand(130, vec![1, 2, 3], ebgp(4)),
             cand(100, vec![1], ebgp(5)),

@@ -144,10 +144,7 @@ mod tests {
     #[test]
     fn shortest_path_nodes() {
         let g = diamond();
-        assert_eq!(
-            g.shortest_path(s(1), s(4)).unwrap(),
-            vec![s(1), s(2), s(4)]
-        );
+        assert_eq!(g.shortest_path(s(1), s(4)).unwrap(), vec![s(1), s(2), s(4)]);
         assert_eq!(g.shortest_path(s(1), s(1)).unwrap(), vec![s(1)]);
     }
 

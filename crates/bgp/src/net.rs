@@ -319,8 +319,18 @@ mod tests {
         for i in 1..=3 {
             net.add_speaker(Speaker::new(SpeakerId(i), Asn(i)));
         }
-        net.connect_ebgp(SpeakerId(1), SpeakerId(2), Relation::Provider, Policy::GaoRexford);
-        net.connect_ebgp(SpeakerId(2), SpeakerId(3), Relation::Provider, Policy::GaoRexford);
+        net.connect_ebgp(
+            SpeakerId(1),
+            SpeakerId(2),
+            Relation::Provider,
+            Policy::GaoRexford,
+        );
+        net.connect_ebgp(
+            SpeakerId(2),
+            SpeakerId(3),
+            Relation::Provider,
+            Policy::GaoRexford,
+        );
         net
     }
 
@@ -332,7 +342,9 @@ mod tests {
         assert!(stats.messages >= 2);
         let best3 = net.best_route(SpeakerId(3), &p("10.1.0.0/16")).unwrap();
         assert_eq!(best3.attrs.as_path, vec![Asn(2), Asn(1)]);
-        let path = net.forwarding_path(SpeakerId(3), &p("10.1.0.0/16")).unwrap();
+        let path = net
+            .forwarding_path(SpeakerId(3), &p("10.1.0.0/16"))
+            .unwrap();
         assert_eq!(path, vec![SpeakerId(3), SpeakerId(2), SpeakerId(1)]);
     }
 
@@ -344,8 +356,18 @@ mod tests {
         for i in 1..=3 {
             net.add_speaker(Speaker::new(SpeakerId(i), Asn(i)));
         }
-        net.connect_ebgp(SpeakerId(1), SpeakerId(2), Relation::Peer, Policy::GaoRexford);
-        net.connect_ebgp(SpeakerId(2), SpeakerId(3), Relation::Peer, Policy::GaoRexford);
+        net.connect_ebgp(
+            SpeakerId(1),
+            SpeakerId(2),
+            Relation::Peer,
+            Policy::GaoRexford,
+        );
+        net.connect_ebgp(
+            SpeakerId(2),
+            SpeakerId(3),
+            Relation::Peer,
+            Policy::GaoRexford,
+        );
         net.originate(SpeakerId(1), p("10.1.0.0/16"));
         net.run(10_000).unwrap();
         assert!(net.best_route(SpeakerId(2), &p("10.1.0.0/16")).is_some());
@@ -361,11 +383,31 @@ mod tests {
             net.add_speaker(Speaker::new(SpeakerId(i), Asn(i)));
         }
         // AS1 is customer of both 2 and 3.
-        net.connect_ebgp(SpeakerId(1), SpeakerId(2), Relation::Provider, Policy::GaoRexford);
-        net.connect_ebgp(SpeakerId(1), SpeakerId(3), Relation::Provider, Policy::GaoRexford);
+        net.connect_ebgp(
+            SpeakerId(1),
+            SpeakerId(2),
+            Relation::Provider,
+            Policy::GaoRexford,
+        );
+        net.connect_ebgp(
+            SpeakerId(1),
+            SpeakerId(3),
+            Relation::Provider,
+            Policy::GaoRexford,
+        );
         // AS4 buys transit from AS2, peers with AS3.
-        net.connect_ebgp(SpeakerId(4), SpeakerId(2), Relation::Provider, Policy::GaoRexford);
-        net.connect_ebgp(SpeakerId(4), SpeakerId(3), Relation::Peer, Policy::GaoRexford);
+        net.connect_ebgp(
+            SpeakerId(4),
+            SpeakerId(2),
+            Relation::Provider,
+            Policy::GaoRexford,
+        );
+        net.connect_ebgp(
+            SpeakerId(4),
+            SpeakerId(3),
+            Relation::Peer,
+            Policy::GaoRexford,
+        );
         net.originate(SpeakerId(1), p("10.1.0.0/16"));
         net.run(10_000).unwrap();
         let best = net.best_route(SpeakerId(4), &p("10.1.0.0/16")).unwrap();
@@ -392,11 +434,13 @@ mod tests {
             let mut net = chain();
             net.originate(SpeakerId(1), p("10.1.0.0/16"));
             let stats = net.run(10_000).unwrap();
-            (stats, net
-                .best_route(SpeakerId(3), &p("10.1.0.0/16"))
-                .unwrap()
-                .attrs
-                .clone())
+            (
+                stats,
+                net.best_route(SpeakerId(3), &p("10.1.0.0/16"))
+                    .unwrap()
+                    .attrs
+                    .clone(),
+            )
         };
         assert_eq!(build(), build());
     }
@@ -418,7 +462,12 @@ mod tests {
         for i in [10, 11, 12] {
             net.add_speaker(Speaker::new(SpeakerId(i), Asn(100)));
         }
-        net.connect_ebgp(SpeakerId(11), SpeakerId(2), Relation::Provider, Policy::FlatPreference);
+        net.connect_ebgp(
+            SpeakerId(11),
+            SpeakerId(2),
+            Relation::Provider,
+            Policy::FlatPreference,
+        );
         net.connect_rr_client(SpeakerId(10), SpeakerId(11), Policy::FlatPreference);
         net.connect_rr_client(SpeakerId(10), SpeakerId(12), Policy::FlatPreference);
         net.originate(SpeakerId(2), p("10.2.0.0/16"));
@@ -427,7 +476,9 @@ mod tests {
         assert!(best12.source.is_ibgp());
         assert_eq!(best12.attrs.next_hop, SpeakerId(11));
         // Data plane: 12 -> 11 (intra-AS) -> 2 (eBGP).
-        let path = net.forwarding_path(SpeakerId(12), &p("10.2.0.0/16")).unwrap();
+        let path = net
+            .forwarding_path(SpeakerId(12), &p("10.2.0.0/16"))
+            .unwrap();
         assert_eq!(path, vec![SpeakerId(12), SpeakerId(11), SpeakerId(2)]);
     }
 }

@@ -174,8 +174,12 @@ mod tests {
 
     #[test]
     fn gao_rexford_preference_order() {
-        assert!(gao_rexford_local_pref(Relation::Customer) > gao_rexford_local_pref(Relation::Peer));
-        assert!(gao_rexford_local_pref(Relation::Peer) > gao_rexford_local_pref(Relation::Provider));
+        assert!(
+            gao_rexford_local_pref(Relation::Customer) > gao_rexford_local_pref(Relation::Peer)
+        );
+        assert!(
+            gao_rexford_local_pref(Relation::Peer) > gao_rexford_local_pref(Relation::Provider)
+        );
     }
 
     #[test]

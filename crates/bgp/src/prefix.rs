@@ -65,7 +65,9 @@ impl Prefix {
         self.addr
     }
 
-    /// Mask length.
+    /// Mask length. (`is_empty` would be meaningless: a `/0` matches
+    /// everything, not nothing.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -176,11 +178,26 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!("10.0.0.0".parse::<Prefix>(), Err(PrefixParseError::MissingSlash));
-        assert_eq!("10.0.0/8".parse::<Prefix>(), Err(PrefixParseError::BadAddress));
-        assert_eq!("10.0.0.0.1/8".parse::<Prefix>(), Err(PrefixParseError::BadAddress));
-        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(PrefixParseError::BadLength));
-        assert_eq!("10.0.0.0/x".parse::<Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!(
+            "10.0.0.0".parse::<Prefix>(),
+            Err(PrefixParseError::MissingSlash)
+        );
+        assert_eq!(
+            "10.0.0/8".parse::<Prefix>(),
+            Err(PrefixParseError::BadAddress)
+        );
+        assert_eq!(
+            "10.0.0.0.1/8".parse::<Prefix>(),
+            Err(PrefixParseError::BadAddress)
+        );
+        assert_eq!(
+            "10.0.0.0/33".parse::<Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
+        assert_eq!(
+            "10.0.0.0/x".parse::<Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
     }
 
     #[test]

@@ -90,7 +90,13 @@ pub struct PeerConfig {
 /// prefix's GeoIP location.
 pub trait ImportHook: std::fmt::Debug {
     /// Inspect/rewrite an accepted route. `from` is the sending peer.
-    fn on_import(&self, from: SpeakerId, prefix: Prefix, source: &RouteSource, attrs: &mut RouteAttrs);
+    fn on_import(
+        &self,
+        from: SpeakerId,
+        prefix: Prefix,
+        source: &RouteSource,
+        attrs: &mut RouteAttrs,
+    );
 }
 
 /// Stable hash of advertised attributes, used to diff Adj-RIB-Out without
@@ -425,6 +431,17 @@ impl Speaker {
             self.peers.iter().map(|(k, v)| (*k, *v)).collect();
         for (peer, cfg) in peers {
             let desired = self.export_for(&best, best_ext.as_ref(), peer, &cfg);
+            // Runtime twin of the vns-verify no-export containment
+            // invariant: a NO_EXPORT route must never be put on an eBGP
+            // session's wire.
+            debug_assert!(
+                !(cfg.kind.is_ebgp()
+                    && desired
+                        .as_ref()
+                        .is_some_and(|a| a.has_community(Community::NoExport))),
+                "NO_EXPORT route for {prefix} would leak over eBGP {} -> {peer}",
+                self.id
+            );
             let fp = desired.as_ref().map(attrs_fingerprint);
             let sent = self
                 .adj_rib_out
@@ -440,10 +457,7 @@ impl Speaker {
                     out.push((peer, Message::Update { prefix, attrs }));
                 }
                 (None, _, Some(_)) => {
-                    self.adj_rib_out
-                        .entry(peer)
-                        .or_default()
-                        .remove(&prefix);
+                    self.adj_rib_out.entry(peer).or_default().remove(&prefix);
                     out.push((peer, Message::Withdraw { prefix }));
                 }
                 _ => {}
@@ -510,9 +524,7 @@ impl Speaker {
                             Some(rel) => Some(rel),
                             // Empty path + no tag = originated by a sibling
                             // router in this AS.
-                            None if self.export_own_ibgp
-                                && candidate.attrs.as_path.is_empty() =>
-                            {
+                            None if self.export_own_ibgp && candidate.attrs.as_path.is_empty() => {
                                 None
                             }
                             None => return None,
@@ -539,9 +551,7 @@ impl Speaker {
             PeerKind::Ibgp | PeerKind::IbgpClient => {
                 match candidate.source {
                     // Own and eBGP-learned routes go to every iBGP peer.
-                    RouteSource::Local | RouteSource::Ebgp { .. } => {
-                        Some(candidate.attrs.clone())
-                    }
+                    RouteSource::Local | RouteSource::Ebgp { .. } => Some(candidate.attrs.clone()),
                     // iBGP-learned routes: reflection rules.
                     RouteSource::Ibgp { peer: learned_from } => {
                         let from_client = self
@@ -627,6 +637,61 @@ impl Speaker {
     pub fn local_prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
         self.local.keys().copied()
     }
+
+    // --- Read-only introspection (static analysis / vns-verify) -----------
+    //
+    // These accessors expose converged control-plane state without any
+    // mutation, so an external checker can audit RIBs the way Batfish
+    // audits vendor configs: what is in Adj-RIB-In, what *would* go out on
+    // each session, and whether next hops resolve.
+
+    /// Every Adj-RIB-In entry as `(prefix, sending peer, candidate)`, in
+    /// prefix order. Read-only; intended for invariant checkers.
+    pub fn adj_rib_in_entries(&self) -> impl Iterator<Item = (Prefix, SpeakerId, &Candidate)> + '_ {
+        self.adj_rib_in
+            .iter()
+            .flat_map(|(p, per_peer)| per_peer.iter().map(|(from, c)| (*p, *from, c)))
+    }
+
+    /// Recomputes the exact attributes this router would currently
+    /// advertise to `peer` for `prefix` — the full export pipeline
+    /// (echo suppression, community filtering, valley-free scoping,
+    /// best-external fallback, reflection stamping) applied to the
+    /// converged best route. `None` when nothing would be advertised or
+    /// the peer is not configured.
+    ///
+    /// The stored Adj-RIB-Out keeps only fingerprints to diff against; this
+    /// is the authoritative way to inspect outbound state.
+    pub fn exported_to(&self, peer: SpeakerId, prefix: &Prefix) -> Option<RouteAttrs> {
+        let cfg = self.peers.get(&peer)?;
+        let best = self.loc_rib.get(prefix).cloned();
+        let best_ext = if self.best_external {
+            self.best_external_route(prefix).cloned()
+        } else {
+            None
+        };
+        self.export_for(&best, best_ext.as_ref(), peer, cfg)
+    }
+
+    /// Installed IGP cost from this router to `to` (`Some(0)` for itself,
+    /// `None` when `to` is IGP-unreachable or outside the AS).
+    pub fn igp_cost(&self, to: SpeakerId) -> Option<u64> {
+        if to == self.id {
+            return Some(0);
+        }
+        self.igp_costs.get(&to).copied()
+    }
+
+    /// Configured hot-potato exit cost towards eBGP peer `peer` (defaults
+    /// to 0 when unset, matching the decision process).
+    pub fn session_cost(&self, peer: SpeakerId) -> u64 {
+        self.session_costs.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Whether best-external advertisement is enabled on this router.
+    pub fn best_external_enabled(&self) -> bool {
+        self.best_external
+    }
 }
 
 #[cfg(test)]
@@ -683,7 +748,10 @@ mod tests {
     fn ebgp_loop_rejected() {
         let mut s = Speaker::new(SpeakerId(1), Asn(100));
         s.add_peer(SpeakerId(2), ebgp_cfg(200, Relation::Provider));
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200, 100, 300], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200, 100, 300], SpeakerId(2)),
+        );
         s.process();
         assert!(s.best(&p("10.0.0.0/8")).is_none());
     }
@@ -692,7 +760,10 @@ mod tests {
     fn import_sets_local_pref_and_next_hop_self() {
         let mut s = Speaker::new(SpeakerId(1), Asn(100));
         s.add_peer(SpeakerId(2), ebgp_cfg(200, Relation::Customer));
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         s.process();
         let best = s.best(&p("10.0.0.0/8")).unwrap();
         assert_eq!(best.attrs.local_pref, 130); // customer preference
@@ -705,8 +776,14 @@ mod tests {
         s.add_peer(SpeakerId(2), ebgp_cfg(200, Relation::Provider));
         s.add_peer(SpeakerId(3), ebgp_cfg(300, Relation::Customer));
         // Provider offers a shorter path; customer still wins on LOCAL_PREF.
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
-        s.receive(SpeakerId(3), update(p("10.0.0.0/8"), vec![300, 400, 500], SpeakerId(3)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
+        s.receive(
+            SpeakerId(3),
+            update(p("10.0.0.0/8"), vec![300, 400, 500], SpeakerId(3)),
+        );
         s.process();
         let best = s.best(&p("10.0.0.0/8")).unwrap();
         assert_eq!(best.attrs.neighbor_as(), Some(Asn(300)));
@@ -738,7 +815,10 @@ mod tests {
         s.add_peer(SpeakerId(2), ebgp_cfg(200, Relation::Peer));
         s.add_peer(SpeakerId(3), ebgp_cfg(300, Relation::Peer));
         s.add_peer(SpeakerId(4), ebgp_cfg(400, Relation::Customer));
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         let msgs = s.process();
         let to: Vec<SpeakerId> = msgs.iter().map(|(t, _)| *t).collect();
         assert_eq!(to, vec![SpeakerId(4)]);
@@ -749,14 +829,20 @@ mod tests {
         let mut s = Speaker::new(SpeakerId(1), Asn(100));
         s.add_peer(SpeakerId(2), ebgp_cfg(200, Relation::Provider));
         s.add_peer(SpeakerId(4), ebgp_cfg(400, Relation::Customer));
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         let msgs = s.process();
         assert_eq!(msgs.len(), 1, "advertised to customer");
-        s.receive(SpeakerId(2), Message::Withdraw { prefix: p("10.0.0.0/8") });
-        let msgs = s.process();
-        assert!(
-            matches!(msgs.as_slice(), [(to, Message::Withdraw { .. })] if *to == SpeakerId(4))
+        s.receive(
+            SpeakerId(2),
+            Message::Withdraw {
+                prefix: p("10.0.0.0/8"),
+            },
         );
+        let msgs = s.process();
+        assert!(matches!(msgs.as_slice(), [(to, Message::Withdraw { .. })] if *to == SpeakerId(4)));
         assert!(s.best(&p("10.0.0.0/8")).is_none());
     }
 
@@ -765,10 +851,16 @@ mod tests {
         let mut s = Speaker::new(SpeakerId(1), Asn(100));
         s.add_peer(SpeakerId(2), ebgp_cfg(200, Relation::Provider));
         s.add_peer(SpeakerId(4), ebgp_cfg(400, Relation::Customer));
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         assert_eq!(s.process().len(), 1);
         // Same update again: nothing new to say.
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         assert_eq!(s.process().len(), 0);
     }
 
@@ -790,7 +882,10 @@ mod tests {
             },
         );
         // Client 1 sends an iBGP update (its eBGP-learned route).
-        rr.receive(SpeakerId(1), update(p("10.0.0.0/8"), vec![200], SpeakerId(1)));
+        rr.receive(
+            SpeakerId(1),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(1)),
+        );
         let msgs = rr.process();
         // Reflected to client 2 only (not back to 1).
         assert_eq!(msgs.len(), 1);
@@ -838,9 +933,15 @@ mod tests {
                 import: Policy::FlatPreference,
             },
         );
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         let msgs = s.process();
-        assert!(msgs.is_empty(), "iBGP-learned must not go to plain iBGP peers");
+        assert!(
+            msgs.is_empty(),
+            "iBGP-learned must not go to plain iBGP peers"
+        );
     }
 
     #[test]
@@ -859,7 +960,10 @@ mod tests {
             },
         );
         // Own eBGP route.
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         let msgs = s.process();
         assert_eq!(msgs.len(), 1, "eBGP best goes to RR");
         // Now the RR sends a better (geo-boosted) route via iBGP.
@@ -891,7 +995,10 @@ mod tests {
                 import: Policy::FlatPreference,
             },
         );
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         assert_eq!(s.process().len(), 1);
         let mut better = update(p("10.0.0.0/8"), vec![300, 200], SpeakerId(10));
         if let Message::Update { attrs, .. } = &mut better {
@@ -926,7 +1033,10 @@ mod tests {
         let mut s = Speaker::new(SpeakerId(1), Asn(100));
         s.set_import_hook(Box::new(Boost));
         s.add_peer(SpeakerId(2), ebgp_cfg(200, Relation::Provider));
-        s.receive(SpeakerId(2), update(p("10.0.0.0/8"), vec![200], SpeakerId(2)));
+        s.receive(
+            SpeakerId(2),
+            update(p("10.0.0.0/8"), vec![200], SpeakerId(2)),
+        );
         s.process();
         assert_eq!(s.best(&p("10.0.0.0/8")).unwrap().attrs.local_pref, 999);
     }

@@ -7,7 +7,7 @@ use vns_bgp::{
 };
 
 fn p(s: &str) -> Prefix {
-    s.parse().unwrap()
+    s.parse().expect("valid prefix literal")
 }
 
 /// AS1 --AS2 -- AS3 chain with AS4 multihomed to AS2 and AS3.
@@ -16,10 +16,30 @@ fn diamond() -> BgpNet {
     for i in 1..=4 {
         net.add_speaker(Speaker::new(SpeakerId(i), Asn(i)));
     }
-    net.connect_ebgp(SpeakerId(1), SpeakerId(2), Relation::Provider, Policy::GaoRexford);
-    net.connect_ebgp(SpeakerId(2), SpeakerId(3), Relation::Peer, Policy::GaoRexford);
-    net.connect_ebgp(SpeakerId(4), SpeakerId(2), Relation::Provider, Policy::GaoRexford);
-    net.connect_ebgp(SpeakerId(4), SpeakerId(3), Relation::Provider, Policy::GaoRexford);
+    net.connect_ebgp(
+        SpeakerId(1),
+        SpeakerId(2),
+        Relation::Provider,
+        Policy::GaoRexford,
+    );
+    net.connect_ebgp(
+        SpeakerId(2),
+        SpeakerId(3),
+        Relation::Peer,
+        Policy::GaoRexford,
+    );
+    net.connect_ebgp(
+        SpeakerId(4),
+        SpeakerId(2),
+        Relation::Provider,
+        Policy::GaoRexford,
+    );
+    net.connect_ebgp(
+        SpeakerId(4),
+        SpeakerId(3),
+        Relation::Provider,
+        Policy::GaoRexford,
+    );
     net
 }
 
@@ -34,7 +54,9 @@ fn origin_flap_converges_every_time() {
             net.best_route(SpeakerId(1), &prefix).is_some(),
             "round {round}: reachable after announce"
         );
-        net.speaker_mut(SpeakerId(4)).unwrap().withdraw_local(prefix);
+        net.speaker_mut(SpeakerId(4))
+            .unwrap()
+            .withdraw_local(prefix);
         net.run(100_000).unwrap();
         assert!(
             net.best_route(SpeakerId(1), &prefix).is_none(),
@@ -56,7 +78,9 @@ fn flap_leaves_identical_state() {
         for _ in 0..flaps {
             net.originate(SpeakerId(4), prefix);
             net.run(100_000).unwrap();
-            net.speaker_mut(SpeakerId(4)).unwrap().withdraw_local(prefix);
+            net.speaker_mut(SpeakerId(4))
+                .unwrap()
+                .withdraw_local(prefix);
             net.run(100_000).unwrap();
         }
         net.originate(SpeakerId(4), prefix);
@@ -90,10 +114,7 @@ fn refresh_is_idempotent_at_steady_state() {
         .map(|i| net.best_route(SpeakerId(i), &prefix).cloned())
         .collect();
     for (b, a) in before.iter().zip(&after) {
-        assert_eq!(
-            b.as_ref().map(|c| &c.attrs),
-            a.as_ref().map(|c| &c.attrs)
-        );
+        assert_eq!(b.as_ref().map(|c| &c.attrs), a.as_ref().map(|c| &c.attrs));
     }
 }
 
@@ -121,8 +142,18 @@ fn med_steers_between_parallel_sessions() {
         },
     );
     net.add_speaker(Speaker::new(SpeakerId(2), Asn(2)));
-    net.connect_ebgp(SpeakerId(11), SpeakerId(2), Relation::Customer, Policy::GaoRexford);
-    net.connect_ebgp(SpeakerId(12), SpeakerId(2), Relation::Customer, Policy::GaoRexford);
+    net.connect_ebgp(
+        SpeakerId(11),
+        SpeakerId(2),
+        Relation::Customer,
+        Policy::GaoRexford,
+    );
+    net.connect_ebgp(
+        SpeakerId(12),
+        SpeakerId(2),
+        Relation::Customer,
+        Policy::GaoRexford,
+    );
     let prefix = p("10.1.0.0/16");
     // Hand-deliver updates with MEDs (the speaker API resets MED on its
     // own originations, so drive the receiving side directly).
@@ -146,7 +177,10 @@ fn med_steers_between_parallel_sessions() {
         s2.process();
     }
     let best = net.best_route(SpeakerId(2), &prefix).unwrap();
-    assert_eq!(best.attrs.med, 10, "lower MED wins between same-AS sessions");
+    assert_eq!(
+        best.attrs.med, 10,
+        "lower MED wins between same-AS sessions"
+    );
     assert_eq!(best.source.peer(), Some(SpeakerId(12)));
 }
 

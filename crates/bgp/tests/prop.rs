@@ -16,11 +16,14 @@ fn source() -> impl Strategy<Value = RouteSource> {
     prop_oneof![
         Just(RouteSource::Local),
         (1u32..100).prop_map(|p| RouteSource::Ibgp { peer: SpeakerId(p) }),
-        (1u32..100, prop_oneof![
-            Just(Relation::Customer),
-            Just(Relation::Peer),
-            Just(Relation::Provider)
-        ])
+        (
+            1u32..100,
+            prop_oneof![
+                Just(Relation::Customer),
+                Just(Relation::Peer),
+                Just(Relation::Provider)
+            ]
+        )
             .prop_map(|(p, relation)| RouteSource::Ebgp {
                 peer: SpeakerId(p),
                 peer_as: Asn(p),

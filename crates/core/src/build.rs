@@ -13,8 +13,8 @@ use std::rc::Rc;
 use rand::Rng;
 
 use vns_bgp::{
-    Asn, ConvergenceError, IgpGraph, PeerConfig, PeerKind, Policy, Prefix, Relation,
-    Speaker, SpeakerId,
+    Asn, ConvergenceError, IgpGraph, PeerConfig, PeerKind, Policy, Prefix, Relation, Speaker,
+    SpeakerId,
 };
 use vns_geo::cities::city_by_name;
 use vns_geo::{city, CityId, GeoPoint, Region};
@@ -364,17 +364,11 @@ pub fn build_vns(internet: &mut Internet, config: &VnsConfig) -> Result<Vns, Con
                 .expect("border exists")
                 .originate(prefix);
         }
-        echo_servers.push(EchoServer {
-            prefix,
-            pop: pid,
-        });
+        echo_servers.push(EchoServer { prefix, pop: pid });
     }
     internet.as_info_mut(as_id).prefixes.push(anycast_prefix);
     let echo_prefixes: Vec<Prefix> = echo_servers.iter().map(|e| e.prefix).collect();
-    internet
-        .as_info_mut(as_id)
-        .prefixes
-        .extend(echo_prefixes);
+    internet.as_info_mut(as_id).prefixes.extend(echo_prefixes);
 
     // --- Converge ----------------------------------------------------------------
     internet.net.run(config.message_budget)?;
@@ -383,6 +377,7 @@ pub fn build_vns(internet: &mut Internet, config: &VnsConfig) -> Result<Vns, Con
         as_id,
         asn,
         config.mode,
+        config.lp_fn,
         pops,
         [rr0, rr1],
         upstream_ltps,

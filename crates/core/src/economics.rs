@@ -180,8 +180,8 @@ pub fn analyze(
     }
 
     // Transit with economies of scale.
-    let unit = model.transit_per_mbps_base
-        * (transit_mbps.max(1.0)).powf(-model.transit_scale_discount);
+    let unit =
+        model.transit_per_mbps_base * (transit_mbps.max(1.0)).powf(-model.transit_scale_discount);
     let transit_cost = transit_mbps * unit;
 
     let fixed = vns.pops().len() as f64 * (model.equipment_per_pop + model.hosting_per_pop)
@@ -261,8 +261,18 @@ mod tests {
     fn economies_of_scale() {
         let (internet, vns) = world();
         let model = CostModel::default();
-        let small = analyze(&vns, &internet, &model, &sample_demands(&internet, 60, 4.0, 2));
-        let big = analyze(&vns, &internet, &model, &sample_demands(&internet, 1200, 4.0, 2));
+        let small = analyze(
+            &vns,
+            &internet,
+            &model,
+            &sample_demands(&internet, 60, 4.0, 2),
+        );
+        let big = analyze(
+            &vns,
+            &internet,
+            &model,
+            &sample_demands(&internet, 1200, 4.0, 2),
+        );
         assert!(
             big.per_mbps() < small.per_mbps() / 2.0,
             "per-Mbps cost must fall with volume: small {} big {}",
@@ -278,7 +288,12 @@ mod tests {
         // as the traffic volume increases".
         let (internet, vns) = world();
         let model = CostModel::default();
-        let cb = analyze(&vns, &internet, &model, &sample_demands(&internet, 2000, 4.0, 3));
+        let cb = analyze(
+            &vns,
+            &internet,
+            &model,
+            &sample_demands(&internet, 2000, 4.0, 3),
+        );
         assert!(
             cb.l2 > cb.transit,
             "L2 {} should dominate transit {}",

@@ -74,6 +74,36 @@ impl GeoHook {
         let rloc = self.router_locations.get(&router)?;
         Some(self.lp_fn.compute(rloc.distance_km(&loc)))
     }
+
+    /// The LOCAL_PREF this hook assigns to a route for `prefix` egressing
+    /// at `egress`, overrides included; `None` leaves the route untouched
+    /// (prefix missing from GeoIP with no override active).
+    ///
+    /// This is the *whole* transformation: it depends only on the egress
+    /// router and the prefix, never on the incoming attributes — which is
+    /// what makes the hook idempotent and lets `vns-verify` recompute the
+    /// expected preference for every reflector Adj-RIB-In entry.
+    pub fn assigned_pref(&self, egress: SpeakerId, prefix: Prefix) -> Option<u32> {
+        let overrides = self.overrides.borrow();
+        if overrides.is_exempt(&prefix) {
+            // Exempted from geo-routing: fall back to default preference,
+            // i.e. plain BGP behaviour (Sec 3.2: "exempting a prefix
+            // altogether from being geo-routed, in case it is spread
+            // globally").
+            return Some(DEFAULT_LOCAL_PREF);
+        }
+        if let Some(forced) = overrides.forced_exit(&prefix) {
+            let here = self.router_pops.get(&egress);
+            return Some(if here == Some(&forced) {
+                FORCED_EXIT_PREF
+            } else {
+                FORCED_OTHER_PREF
+            });
+        }
+        // Normal geo scoring. Prefixes missing from the GeoIP database
+        // keep their default preference (the paper's fallback).
+        self.preference_for(egress, prefix)
+    }
 }
 
 impl ImportHook for GeoHook {
@@ -89,28 +119,26 @@ impl ImportHook for GeoHook {
         if !source.is_ibgp() {
             return;
         }
-        let overrides = self.overrides.borrow();
-        if overrides.is_exempt(&prefix) {
-            // Exempted from geo-routing: fall back to default preference,
-            // i.e. plain BGP behaviour (Sec 3.2: "exempting a prefix
-            // altogether from being geo-routed, in case it is spread
-            // globally").
-            attrs.local_pref = DEFAULT_LOCAL_PREF;
+        // Never geo-score routes originated inside the VNS AS itself
+        // (empty AS path): the paper's rewrite targets Internet
+        // destinations. Service prefixes (the anycast relay, echo servers,
+        // injected steering more-specifics) must keep default preference,
+        // or the reflected copy would outrank each border's own Local
+        // route and break anycast landing.
+        if attrs.as_path.is_empty() {
             return;
         }
-        if let Some(forced) = overrides.forced_exit(&prefix) {
-            let here = self.router_pops.get(&attrs.next_hop);
-            attrs.local_pref = if here == Some(&forced) {
-                FORCED_EXIT_PREF
-            } else {
-                FORCED_OTHER_PREF
-            };
-            return;
-        }
-        // Normal geo scoring. Prefixes missing from the GeoIP database
-        // keep their default preference (the paper's fallback).
-        if let Some(lp) = self.preference_for(attrs.next_hop, prefix) {
+        if let Some(lp) = self.assigned_pref(attrs.next_hop, prefix) {
             attrs.local_pref = lp;
+            // Runtime twin of the vns-verify geo-preference invariant: the
+            // transformation must be idempotent — re-applying it to the
+            // already-rewritten route assigns the same preference.
+            debug_assert_eq!(
+                self.assigned_pref(attrs.next_hop, prefix),
+                Some(lp),
+                "geo hook not idempotent for {prefix} via {}",
+                attrs.next_hop
+            );
         }
     }
 }
@@ -172,7 +200,12 @@ mod tests {
         hook.on_import(SpeakerId(1), prefix, &ibgp(1), &mut a);
         let mut b = attrs(2);
         hook.on_import(SpeakerId(2), prefix, &ibgp(2), &mut b);
-        assert!(a.local_pref > b.local_pref, "{} vs {}", a.local_pref, b.local_pref);
+        assert!(
+            a.local_pref > b.local_pref,
+            "{} vs {}",
+            a.local_pref,
+            b.local_pref
+        );
         assert!(b.local_pref > DEFAULT_LOCAL_PREF, "always above default");
     }
 

@@ -35,8 +35,8 @@ pub mod pops;
 pub mod service;
 
 pub use build::build_vns;
-pub use economics::{analyze as analyze_economics, CostBreakdown, CostModel, Demand};
 pub use config::{RoutingMode, VnsConfig};
+pub use economics::{analyze as analyze_economics, CostBreakdown, CostModel, Demand};
 pub use georr::GeoHook;
 pub use lpfunc::LocalPrefFn;
 pub use mgmt::Overrides;

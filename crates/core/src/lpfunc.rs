@@ -9,8 +9,9 @@
 //! egress precision that costs.
 
 /// Half the Earth's circumference — an upper bound on great-circle
-/// distance, km.
-const MAX_DISTANCE_KM: f64 = 20_040.0;
+/// distance, km. Public so `vns-verify` can sweep the whole distance
+/// domain when auditing a shape.
+pub const MAX_DISTANCE_KM: f64 = 20_040.0;
 
 /// The distance-to-preference function installed on the route reflectors.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -66,6 +66,28 @@ impl Overrides {
     pub fn is_empty(&self) -> bool {
         self.exempt.is_empty() && self.forced.is_empty()
     }
+
+    /// Exempted prefixes in address order (for auditing — `vns-verify`'s
+    /// override-sanity check walks the whole table).
+    pub fn exempt_prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.exempt.iter().copied()
+    }
+
+    /// Forced exits as `(prefix, pop)` in address order.
+    pub fn forced_exits(&self) -> impl Iterator<Item = (Prefix, PopId)> + '_ {
+        self.forced.iter().map(|(p, pop)| (*p, *pop))
+    }
+
+    /// Fault injection for verifier tests: puts `prefix` in *both* the
+    /// exempt set and the forced map, violating the mutual exclusion that
+    /// [`Overrides::exempt`]/[`Overrides::force_exit`] maintain. Exists so
+    /// tests can prove `vns-verify` catches a corrupted table; never call
+    /// it from operational code.
+    #[doc(hidden)]
+    pub fn inject_inconsistent_for_test(&mut self, prefix: Prefix, pop: PopId) {
+        self.exempt.insert(prefix);
+        self.forced.insert(prefix, pop);
+    }
 }
 
 impl Vns {

@@ -50,17 +50,83 @@ pub const POP_COUNT: usize = 11;
 
 /// The deployment map.
 pub const POP_SPECS: [PopSpec; POP_COUNT] = [
-    PopSpec { id: PopId(1), code: "SJS", city_name: "SanJose", region: PopRegion::Us, cluster: ClusterId::Na },
-    PopSpec { id: PopId(2), code: "SEA", city_name: "Seattle", region: PopRegion::Us, cluster: ClusterId::Na },
-    PopSpec { id: PopId(3), code: "ATL", city_name: "Atlanta", region: PopRegion::Us, cluster: ClusterId::Na },
-    PopSpec { id: PopId(4), code: "OSL", city_name: "Oslo", region: PopRegion::Eu, cluster: ClusterId::Eu },
-    PopSpec { id: PopId(5), code: "ASH", city_name: "Ashburn", region: PopRegion::Us, cluster: ClusterId::Na },
-    PopSpec { id: PopId(6), code: "FRA", city_name: "Frankfurt", region: PopRegion::Eu, cluster: ClusterId::Eu },
-    PopSpec { id: PopId(7), code: "SIN", city_name: "Singapore", region: PopRegion::Ap, cluster: ClusterId::Ap },
-    PopSpec { id: PopId(8), code: "HKG", city_name: "HongKong", region: PopRegion::Ap, cluster: ClusterId::Ap },
-    PopSpec { id: PopId(9), code: "AMS", city_name: "Amsterdam", region: PopRegion::Eu, cluster: ClusterId::Eu },
-    PopSpec { id: PopId(10), code: "LON", city_name: "London", region: PopRegion::Eu, cluster: ClusterId::Eu },
-    PopSpec { id: PopId(11), code: "SYD", city_name: "Sydney", region: PopRegion::Oc, cluster: ClusterId::Oc },
+    PopSpec {
+        id: PopId(1),
+        code: "SJS",
+        city_name: "SanJose",
+        region: PopRegion::Us,
+        cluster: ClusterId::Na,
+    },
+    PopSpec {
+        id: PopId(2),
+        code: "SEA",
+        city_name: "Seattle",
+        region: PopRegion::Us,
+        cluster: ClusterId::Na,
+    },
+    PopSpec {
+        id: PopId(3),
+        code: "ATL",
+        city_name: "Atlanta",
+        region: PopRegion::Us,
+        cluster: ClusterId::Na,
+    },
+    PopSpec {
+        id: PopId(4),
+        code: "OSL",
+        city_name: "Oslo",
+        region: PopRegion::Eu,
+        cluster: ClusterId::Eu,
+    },
+    PopSpec {
+        id: PopId(5),
+        code: "ASH",
+        city_name: "Ashburn",
+        region: PopRegion::Us,
+        cluster: ClusterId::Na,
+    },
+    PopSpec {
+        id: PopId(6),
+        code: "FRA",
+        city_name: "Frankfurt",
+        region: PopRegion::Eu,
+        cluster: ClusterId::Eu,
+    },
+    PopSpec {
+        id: PopId(7),
+        code: "SIN",
+        city_name: "Singapore",
+        region: PopRegion::Ap,
+        cluster: ClusterId::Ap,
+    },
+    PopSpec {
+        id: PopId(8),
+        code: "HKG",
+        city_name: "HongKong",
+        region: PopRegion::Ap,
+        cluster: ClusterId::Ap,
+    },
+    PopSpec {
+        id: PopId(9),
+        code: "AMS",
+        city_name: "Amsterdam",
+        region: PopRegion::Eu,
+        cluster: ClusterId::Eu,
+    },
+    PopSpec {
+        id: PopId(10),
+        code: "LON",
+        city_name: "London",
+        region: PopRegion::Eu,
+        cluster: ClusterId::Eu,
+    },
+    PopSpec {
+        id: PopId(11),
+        code: "SYD",
+        city_name: "Sydney",
+        region: PopRegion::Oc,
+        cluster: ClusterId::Oc,
+    },
 ];
 
 /// Long-haul inter-cluster L2 circuits (by PoP id pairs): the transatlantic
@@ -118,8 +184,7 @@ mod tests {
     #[test]
     fn eleven_pops_on_four_continents() {
         assert_eq!(POP_SPECS.len(), 11);
-        let clusters: std::collections::BTreeSet<_> =
-            POP_SPECS.iter().map(|p| p.cluster).collect();
+        let clusters: std::collections::BTreeSet<_> = POP_SPECS.iter().map(|p| p.cluster).collect();
         assert_eq!(clusters.len(), 4);
     }
 

@@ -11,6 +11,7 @@ use vns_topo::path::{resolve_from_prefix, resolve_path, HopKind, ResolvedHop};
 use vns_topo::{AsId, Internet, ResolvedPath};
 
 use crate::config::RoutingMode;
+use crate::lpfunc::LocalPrefFn;
 use crate::mgmt::Overrides;
 use crate::pops::{Pop, PopId};
 
@@ -37,6 +38,7 @@ pub struct Vns {
     as_id: AsId,
     asn: Asn,
     mode: RoutingMode,
+    lp_fn: LocalPrefFn,
     pops: Vec<Pop>,
     rrs: [SpeakerId; 2],
     upstreams: Vec<AsId>,
@@ -56,6 +58,7 @@ impl Vns {
         as_id: AsId,
         asn: Asn,
         mode: RoutingMode,
+        lp_fn: LocalPrefFn,
         pops: Vec<Pop>,
         rrs: [SpeakerId; 2],
         upstreams: Vec<AsId>,
@@ -71,6 +74,7 @@ impl Vns {
             as_id,
             asn,
             mode,
+            lp_fn,
             pops,
             rrs,
             upstreams,
@@ -97,6 +101,12 @@ impl Vns {
     /// Routing mode this deployment was built with.
     pub fn mode(&self) -> RoutingMode {
         self.mode
+    }
+
+    /// The `lp = f(d)` shape installed on the reflectors (what `vns-verify`
+    /// audits against the converged RIBs).
+    pub fn lp_fn(&self) -> LocalPrefFn {
+        self.lp_fn
     }
 
     /// All PoPs in id order.
@@ -261,7 +271,12 @@ impl Vns {
             from_city: pop.city,
             to_city: entry_city,
             km,
-            label: format!("transit-port:{}:{}@{}", self.asn, info.asn, city(entry_city).name),
+            label: format!(
+                "transit-port:{}:{}@{}",
+                self.asn,
+                info.asn,
+                city(entry_city).name
+            ),
         };
         let mut rest = resolve_path(internet, up_sp, entry_city, dst_ip)?;
         let mut hops = vec![access];
@@ -287,8 +302,12 @@ impl Vns {
         let mut best: Option<(vns_bgp::Candidate, SpeakerId)> = None;
         let ctx = vns_bgp::DecisionContext::no_igp();
         for b in pop.borders {
-            let Some(sp) = internet.net.speaker(b) else { continue };
-            let Some((covering, _)) = sp.lookup(dst_ip) else { continue };
+            let Some(sp) = internet.net.speaker(b) else {
+                continue;
+            };
+            let Some((covering, _)) = sp.lookup(dst_ip) else {
+                continue;
+            };
             let Some(c) = sp.best_external_route(&covering) else {
                 continue;
             };
@@ -302,8 +321,7 @@ impl Vns {
                 best = Some((c.clone(), b));
             }
         }
-        let (cand, border) =
-            best.ok_or(PathError::NoRoute(pop.borders[0]))?;
+        let (cand, border) = best.ok_or(PathError::NoRoute(pop.borders[0]))?;
         let RouteSource::Ebgp { peer, .. } = cand.source else {
             return Err(PathError::NoRoute(border));
         };
@@ -337,9 +355,7 @@ impl Vns {
     ) -> Result<(PopId, ResolvedPath), PathError> {
         let path = resolve_from_prefix(internet, src_ip, self.anycast_address())?;
         let last = *path.routers.last().expect("non-empty path");
-        let pop = self
-            .pop_of_router(last)
-            .ok_or(PathError::NoRoute(last))?;
+        let pop = self.pop_of_router(last).ok_or(PathError::NoRoute(last))?;
         Ok((pop, path))
     }
 

@@ -135,10 +135,7 @@ fn upstream_session_failure_reroutes() {
             .rev()
             .find(|r| vns.pop_of_router(**r).is_some())
             .expect("has VNS egress");
-        assert_ne!(
-            *egress_router, border,
-            "dead border must not be the egress"
-        );
+        assert_ne!(*egress_router, border, "dead border must not be the egress");
     }
 }
 

@@ -145,7 +145,7 @@ fn vns_internal_path_uses_dedicated_links() {
     for hop in &path.hops {
         match hop.kind {
             vns_topo::HopKind::IntraAs { dedicated, .. } => {
-                assert!(dedicated, "hop {} must be dedicated", hop.label)
+                assert!(dedicated, "hop {} must be dedicated", hop.label);
             }
             other => panic!("unexpected hop kind {other:?} on internal path"),
         }
@@ -167,9 +167,15 @@ fn upstream_path_leaves_immediately() {
     let dedicated = path
         .hops
         .iter()
-        .filter(
-            |h| matches!(h.kind, vns_topo::HopKind::IntraAs { dedicated: true, .. }),
-        )
+        .filter(|h| {
+            matches!(
+                h.kind,
+                vns_topo::HopKind::IntraAs {
+                    dedicated: true,
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(dedicated, 0, "upstream path must bypass VNS circuits");
 }

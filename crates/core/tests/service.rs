@@ -16,16 +16,18 @@ fn local_exit_never_uses_vns_circuits() {
     let mut checked = 0;
     for p in internet.prefixes().filter(|p| p.last_mile).step_by(3) {
         for pop in [PopId(9), PopId(1), PopId(7)] {
-            let Ok(path) = vns.path_via_local_exit(&internet, pop, p.prefix.first_host())
-            else {
+            let Ok(path) = vns.path_via_local_exit(&internet, pop, p.prefix.first_host()) else {
                 continue;
             };
             checked += 1;
             assert!(
-                !path
-                    .hops
-                    .iter()
-                    .any(|h| matches!(h.kind, HopKind::IntraAs { dedicated: true, .. })),
+                !path.hops.iter().any(|h| matches!(
+                    h.kind,
+                    HopKind::IntraAs {
+                        dedicated: true,
+                        ..
+                    }
+                )),
                 "local exit must not ride VNS circuits: {:?}",
                 path.hops.iter().map(|h| &h.label).collect::<Vec<_>>()
             );
@@ -130,6 +132,10 @@ fn pop_lookup_helpers() {
         }
     }
     for rr in vns.reflectors() {
-        assert_eq!(vns.pop_of_router(rr), None, "reflectors sit outside PoP data plane");
+        assert_eq!(
+            vns.pop_of_router(rr),
+            None,
+            "reflectors sit outside PoP data plane"
+        );
     }
 }

@@ -96,7 +96,14 @@ pub static CITIES: &[City] = &[
     c!("PanamaCity", "PA", NorthAmerica, 8.9824, -79.5199, false),
     // --- South America ---
     c!("SaoPaulo", "BR", SouthAmerica, -23.5505, -46.6333, true),
-    c!("RioDeJaneiro", "BR", SouthAmerica, -22.9068, -43.1729, false),
+    c!(
+        "RioDeJaneiro",
+        "BR",
+        SouthAmerica,
+        -22.9068,
+        -43.1729,
+        false
+    ),
     c!("BuenosAires", "AR", SouthAmerica, -34.6037, -58.3816, false),
     c!("Santiago", "CL", SouthAmerica, -33.4489, -70.6693, false),
     c!("Bogota", "CO", SouthAmerica, 4.711, -74.0721, false),
@@ -228,10 +235,7 @@ mod tests {
     #[test]
     fn every_region_has_cities() {
         for r in Region::ALL {
-            assert!(
-                !cities_in_region(r).is_empty(),
-                "region {r} has no cities"
-            );
+            assert!(!cities_in_region(r).is_empty(), "region {r} has no cities");
         }
     }
 
@@ -249,8 +253,7 @@ mod tests {
         // Europe and Asia; the table must reflect that.
         let ru = cities_in_country("RU");
         assert!(ru.len() >= 3);
-        let regions: std::collections::HashSet<_> =
-            ru.iter().map(|id| city(*id).region).collect();
+        let regions: std::collections::HashSet<_> = ru.iter().map(|id| city(*id).region).collect();
         assert!(regions.len() >= 2, "Russian cities must span >=2 regions");
     }
 
@@ -259,7 +262,10 @@ mod tests {
         let c = country_centroid("RU").expect("RU centroid");
         // Mean of Moscow/StPetersburg/Novosibirsk/Yekaterinburg lies well
         // east of Moscow — the "centre of Russia" effect from the paper.
-        assert!(c.lon_deg > 45.0, "centroid should sit east of Moscow, got {c:?}");
+        assert!(
+            c.lon_deg > 45.0,
+            "centroid should sit east of Moscow, got {c:?}"
+        );
         assert!(country_centroid("XX").is_none());
     }
 

@@ -141,9 +141,21 @@ mod tests {
 
     #[test]
     fn utc_offsets() {
-        assert!(close(GeoPoint::new(0.0, 0.0).utc_offset_hours(), 0.0, 1e-12));
-        assert!(close(GeoPoint::new(1.35, 103.82).utc_offset_hours(), 6.92, 0.01));
-        assert!(close(GeoPoint::new(37.33, -121.89).utc_offset_hours(), -8.13, 0.01));
+        assert!(close(
+            GeoPoint::new(0.0, 0.0).utc_offset_hours(),
+            0.0,
+            1e-12
+        ));
+        assert!(close(
+            GeoPoint::new(1.35, 103.82).utc_offset_hours(),
+            6.92,
+            0.01
+        ));
+        assert!(close(
+            GeoPoint::new(37.33, -121.89).utc_offset_hours(),
+            -8.13,
+            0.01
+        ));
     }
 
     #[test]

@@ -212,10 +212,8 @@ impl<K: Copy + Eq + Hash> GeoIpDb<K> {
                     let dlat = dist * angle.cos() / 111.0;
                     let coslat = rec.reported.lat_deg.to_radians().cos().max(0.05);
                     let dlon = dist * angle.sin() / (111.0 * coslat);
-                    rec.reported = GeoPoint::new(
-                        rec.reported.lat_deg + dlat,
-                        rec.reported.lon_deg + dlon,
-                    );
+                    rec.reported =
+                        GeoPoint::new(rec.reported.lat_deg + dlat, rec.reported.lon_deg + dlon);
                 }
             }
         }
@@ -259,7 +257,10 @@ mod tests {
         );
         let centroid = country_centroid("RU").unwrap();
         assert_eq!(db.lookup(1).unwrap(), centroid);
-        assert!(db.error_km(1).unwrap() > 500.0, "Moscow is far from centroid");
+        assert!(
+            db.error_km(1).unwrap() > 500.0,
+            "Moscow is far from centroid"
+        );
         // Dutch prefix untouched.
         assert_eq!(db.error_km(2).unwrap(), 0.0);
     }
@@ -317,8 +318,14 @@ mod tests {
             (0..50).map(|k| db.lookup(k).unwrap()).collect::<Vec<_>>()
         };
         assert_eq!(
-            build().iter().map(|p| (p.lat_deg, p.lon_deg)).collect::<Vec<_>>(),
-            build().iter().map(|p| (p.lat_deg, p.lon_deg)).collect::<Vec<_>>()
+            build()
+                .iter()
+                .map(|p| (p.lat_deg, p.lon_deg))
+                .collect::<Vec<_>>(),
+            build()
+                .iter()
+                .map(|p| (p.lat_deg, p.lon_deg))
+                .collect::<Vec<_>>()
         );
     }
 }

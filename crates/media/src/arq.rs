@@ -52,7 +52,7 @@ pub fn send_with_arq(
             }
             PathOutcome::Lost { .. } => {
                 // Loss detected one RTT later; retransmit immediately.
-                attempt_time = attempt_time + hop_rtt;
+                attempt_time += hop_rtt;
                 if attempt_time > latest {
                     break;
                 }

@@ -107,8 +107,8 @@ mod tests {
             random[i] = false;
         }
         let mut bursty = vec![true; n];
-        for i in 40..45 {
-            bursty[i] = false;
+        for b in &mut bursty[40..45] {
+            *b = false;
         }
         let parity = vec![true; n / cfg.k];
         let r_random = cfg.residual_loss(&random, &parity);

@@ -128,7 +128,11 @@ mod tests {
         }
         // Alternating ±8 ms converges towards 8 ms (RFC smoothing keeps it
         // just below).
-        assert!(j.jitter_ms() > 5.0 && j.jitter_ms() < 8.5, "{}", j.jitter_ms());
+        assert!(
+            j.jitter_ms() > 5.0 && j.jitter_ms() < 8.5,
+            "{}",
+            j.jitter_ms()
+        );
     }
 
     #[test]

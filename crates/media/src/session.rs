@@ -89,9 +89,9 @@ pub fn run_echo_session(
     let start = schedule.packets.first().map(|p| p.sent);
 
     for pkt in &schedule.packets {
-        let slot = start
-            .map(|s| ((pkt.sent - s).div_count(config.slot) as usize).min(n_slots - 1))
-            .unwrap_or(0);
+        let slot = start.map_or(0, |s| {
+            ((pkt.sent - s).div_count(config.slot) as usize).min(n_slots - 1)
+        });
         match forward.send(pkt.sent) {
             PathOutcome::Lost { .. } => {
                 slot_losses[slot] += 1;
@@ -162,7 +162,7 @@ mod tests {
         assert_eq!(r.lossy_slots(), 0);
         assert_eq!(r.slot_losses.len(), 24);
         let rtt = r.min_rtt_ms.unwrap();
-        assert!(rtt >= 80.0 && rtt < 82.0, "rtt {rtt}");
+        assert!((80.0..82.0).contains(&rtt), "rtt {rtt}");
         assert!(r.jitter_ms < 1.0);
     }
 

@@ -18,7 +18,7 @@ proptest! {
         let out = cfg.recover(&delivered, &parity);
         prop_assert_eq!(out.len(), delivered.len());
         for (before, after) in delivered.iter().zip(&out) {
-            prop_assert!(!(*before && !after), "FEC must not drop a delivered packet");
+            prop_assert!(!*before || *after, "FEC must not drop a delivered packet");
         }
         // Residual loss never exceeds raw loss.
         let raw = delivered.iter().filter(|d| !**d).count();

@@ -141,7 +141,7 @@ mod tests {
         assert_eq!(ch.base_delay_ms(), 30.0);
         let out = ch.send(SimTime::EPOCH);
         let d = out.delay_ms().expect("delivered");
-        assert!(d >= 30.0 && d < 31.5, "delay {d}");
+        assert!((30.0..31.5).contains(&d), "delay {d}");
     }
 
     #[test]

@@ -85,7 +85,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..1000 {
             let d = s.sample_ms(SimTime::EPOCH, &mut rng);
-            assert!(d >= 10.0 && d <= 10.5 + 1e-9, "delay {d}");
+            assert!((10.0..=10.5 + 1e-9).contains(&d), "delay {d}");
         }
     }
 

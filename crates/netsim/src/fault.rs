@@ -102,7 +102,7 @@ impl FaultGenerator {
         loop {
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             let gap = Dur::from_millis_f64(-mean_gap_secs * 1000.0 * u.ln());
-            t = t + gap;
+            t += gap;
             if t >= end {
                 break;
             }
@@ -176,6 +176,8 @@ mod tests {
     fn zero_rate_empty() {
         let g = FaultGenerator::convergence(0.0);
         let mut rng = SmallRng::seed_from_u64(3);
-        assert!(g.generate(SimTime::EPOCH, Dur::from_days(10), &mut rng).is_empty());
+        assert!(g
+            .generate(SimTime::EPOCH, Dur::from_days(10), &mut rng)
+            .is_empty());
     }
 }

@@ -41,5 +41,5 @@ pub use event::EventQueue;
 pub use fault::{BlackoutSchedule, FaultGenerator};
 pub use loss::{LossModel, LossProcess};
 pub use rng::RngTree;
-pub use trace::{Trace, TraceEvent};
 pub use time::{Dur, SimTime};
+pub use trace::{Trace, TraceEvent};

@@ -80,7 +80,10 @@ impl LossModel {
     /// The Good state is lossless; the chain's stationary Bad occupancy is
     /// chosen so `occupancy * loss_bad = overall_rate`.
     pub fn bursty(overall_rate: f64, loss_bad: f64, mean_burst_secs: f64) -> LossModel {
-        assert!(overall_rate < loss_bad, "burst loss must exceed target rate");
+        assert!(
+            overall_rate < loss_bad,
+            "burst loss must exceed target rate"
+        );
         assert!(mean_burst_secs > 0.0);
         let occupancy = overall_rate / loss_bad; // πB
         let b2g = 1.0 / mean_burst_secs;
@@ -135,9 +138,9 @@ impl LossModel {
                 for i in 0..n {
                     let u0 = profile.utilization_at_hour(24.0 * i as f64 / n as f64);
                     for &z in quantiles {
-                        let fluct =
-                            (z * fluctuation_sigma - 0.5 * fluctuation_sigma * fluctuation_sigma)
-                                .exp();
+                        let fluct = (z * fluctuation_sigma
+                            - 0.5 * fluctuation_sigma * fluctuation_sigma)
+                            .exp();
                         acc += congestion_p((u0 * fluct).clamp(0.0, 1.0), *knee, *max_p);
                     }
                 }
@@ -182,14 +185,8 @@ pub struct LossProcess {
 #[derive(Debug, Clone)]
 enum State {
     Stateless,
-    Ge {
-        bad: bool,
-        last: SimTime,
-    },
-    Congestion {
-        fluct: f64,
-        next_resample: SimTime,
-    },
+    Ge { bad: bool, last: SimTime },
+    Congestion { fluct: f64, next_resample: SimTime },
     Composite(Vec<LossProcess>),
 }
 
@@ -206,7 +203,11 @@ impl LossProcess {
                 // Start from the stationary distribution so early samples
                 // are unbiased.
                 let total = g2b_per_sec + b2g_per_sec;
-                let pi_bad = if total > 0.0 { g2b_per_sec / total } else { 0.0 };
+                let pi_bad = if total > 0.0 {
+                    g2b_per_sec / total
+                } else {
+                    0.0
+                };
                 State::Ge {
                     bad: rng.gen_bool(pi_bad.clamp(0.0, 1.0)),
                     last: SimTime::EPOCH,

@@ -45,7 +45,9 @@ impl RngTree {
 
     /// A fresh RNG for a labelled, indexed stream (e.g. per-link, per-host).
     pub fn stream_indexed(&self, label: &str, index: u64) -> SmallRng {
-        SmallRng::seed_from_u64(splitmix64(self.seed_for(label) ^ index.wrapping_mul(0x9e3779b97f4a7c15)))
+        SmallRng::seed_from_u64(splitmix64(
+            self.seed_for(label) ^ index.wrapping_mul(0x9e3779b97f4a7c15),
+        ))
     }
 
     /// A child tree, for components that themselves fan out.
@@ -73,8 +75,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let t = RngTree::new(42);
-        let a: Vec<u32> = t.stream("bgp").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = t.stream("bgp").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = t
+            .stream("bgp")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = t
+            .stream("bgp")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -83,10 +83,9 @@ impl Dur {
 
     /// Checked division producing how many whole `step`s fit.
     pub const fn div_count(self, step: Dur) -> u64 {
-        if step.0 == 0 {
-            0
-        } else {
-            self.0 / step.0
+        match self.0.checked_div(step.0) {
+            Some(n) => n,
+            None => 0,
         }
     }
 }
@@ -217,7 +216,10 @@ mod tests {
         let t = SimTime::EPOCH + Dur::from_hours(25) + Dur::from_mins(30);
         assert_eq!(t.day_index(), 1);
         assert!((t.utc_hour() - 1.5).abs() < 1e-9);
-        assert_eq!(t - (SimTime::EPOCH + Dur::from_hours(25)), Dur::from_mins(30));
+        assert_eq!(
+            t - (SimTime::EPOCH + Dur::from_hours(25)),
+            Dur::from_mins(30)
+        );
     }
 
     #[test]

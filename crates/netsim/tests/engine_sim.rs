@@ -33,13 +33,18 @@ impl PingPong {
     fn new(loss_p: f64, seed: u64) -> Self {
         let lossy_hop = |s| {
             let mut hop = HopChannel::ideal(30.0);
-            hop.loss =
-                LossProcess::new(LossModel::Bernoulli { p: loss_p }, SmallRng::seed_from_u64(s));
+            hop.loss = LossProcess::new(
+                LossModel::Bernoulli { p: loss_p },
+                SmallRng::seed_from_u64(s),
+            );
             hop
         };
         Self {
             fwd: PathChannel::new(vec![lossy_hop(seed)], SmallRng::seed_from_u64(seed + 10)),
-            rev: PathChannel::new(vec![lossy_hop(seed + 1)], SmallRng::seed_from_u64(seed + 11)),
+            rev: PathChannel::new(
+                vec![lossy_hop(seed + 1)],
+                SmallRng::seed_from_u64(seed + 11),
+            ),
             trace: Trace::new(64),
             outstanding: Default::default(),
             completed: Vec::new(),

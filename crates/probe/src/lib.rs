@@ -181,7 +181,7 @@ mod tests {
         let p = rtt_probe_std(&mut f, &mut r, SimTime::EPOCH);
         assert_eq!(p.received, 5);
         let rtt = p.min_rtt_ms.unwrap();
-        assert!(rtt >= 50.0 && rtt < 51.5, "rtt {rtt}");
+        assert!((50.0..51.5).contains(&rtt), "rtt {rtt}");
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl Table {
 
     /// Cell accessor (row, col).
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(|s| s.as_str())
     }
 }
 
@@ -59,12 +62,12 @@ impl fmt::Display for Table {
             }
         }
         let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
-            for i in 0..cols {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
                 if i + 1 == cols {
-                    writeln!(f, "{cell:<width$}", width = widths[i])?;
+                    writeln!(f, "{cell:<width$}")?;
                 } else {
-                    write!(f, "{cell:<width$}  ", width = widths[i])?;
+                    write!(f, "{cell:<width$}  ")?;
                 }
             }
             Ok(())

@@ -277,8 +277,12 @@ impl ChannelFactory {
         // systems were premium capacity, so those hauls take the milder
         // endpoint — which is why the paper's SJS vantage reaches AP about
         // as well as AP's own PoPs, and NA->EU looks like EU->EU.
-        let rest_group =
-            |r: Region| !matches!(r, Region::Europe | Region::NorthAmerica | Region::AsiaPacific);
+        let rest_group = |r: Region| {
+            !matches!(
+                r,
+                Region::Europe | Region::NorthAmerica | Region::AsiaPacific
+            )
+        };
         let eu_ap = |x: Region, y: Region| {
             matches!(
                 (x, y),
@@ -323,18 +327,17 @@ impl ChannelFactory {
             + city(hop.to_city).location.utc_offset_hours())
             / 2.0;
         match hop.kind {
-            HopKind::IntraAs { dedicated: true, .. } => LossModel::Composite(vec![
+            HopKind::IntraAs {
+                dedicated: true, ..
+            } => LossModel::Composite(vec![
                 LossModel::Bernoulli {
                     p: self.config.dedicated_bernoulli,
                 },
                 LossModel::bursty(self.config.dedicated_burst_rate, 0.15, 0.5),
             ]),
-            HopKind::IntraAs { region, .. } => self.transit_model(
-                city(hop.from_city).region,
-                region,
-                hop.km,
-                mid_offset,
-            ),
+            HopKind::IntraAs { region, .. } => {
+                self.transit_model(city(hop.from_city).region, region, hop.km, mid_offset)
+            }
             // A very long "interconnect" is a leased backhaul port (the
             // London transit port landing in Ashburn): oversubscribed
             // bargain capacity — the scarce-capacity profile applies.
@@ -361,12 +364,9 @@ impl ChannelFactory {
             }
             // A medium "interconnect" is an access circuit: regional haul
             // profile.
-            HopKind::InterAs { region } if hop.km > 500.0 => self.transit_model(
-                city(hop.from_city).region,
-                region,
-                hop.km,
-                mid_offset,
-            ),
+            HopKind::InterAs { region } if hop.km > 500.0 => {
+                self.transit_model(city(hop.from_city).region, region, hop.km, mid_offset)
+            }
             HopKind::InterAs { .. } => LossModel::Bernoulli { p: 1e-5 },
             HopKind::LastMile { ty, region } => {
                 let target = self.config.last_mile_target(ty, region);
@@ -393,7 +393,9 @@ impl ChannelFactory {
     pub fn delay_sampler(&self, hop: &ResolvedHop) -> DelaySampler {
         let prop_ms = vns_geo::coords::propagation_delay_ms(hop.km);
         match hop.kind {
-            HopKind::IntraAs { dedicated: true, .. } => {
+            HopKind::IntraAs {
+                dedicated: true, ..
+            } => {
                 // Dedicated circuits: propagation + small switching margin.
                 DelaySampler::fixed(prop_ms + 0.15)
             }
@@ -426,7 +428,8 @@ impl ChannelFactory {
                 dedicated: false,
                 ..
             }
-        ) || (matches!(hop.kind, HopKind::InterAs { .. }) && hop.km > 500.0);
+        ) || (matches!(hop.kind, HopKind::InterAs { .. })
+            && hop.km > 500.0);
         if !subject_to_faults || self.config.blackout_events_per_day <= 0.0 {
             return BlackoutSchedule::none();
         }
@@ -460,9 +463,7 @@ impl ChannelFactory {
                 label: hop.label.clone(),
             });
         }
-        let rng = self
-            .rng
-            .stream(&format!("flowdelay:{flow_label}"));
+        let rng = self.rng.stream(&format!("flowdelay:{flow_label}"));
         PathChannel::new(hops, rng)
     }
 }
@@ -558,7 +559,9 @@ mod tests {
                 "na",
             )
         };
-        assert!(f.loss_model(&mk(8000.0)).mean_rate() > 1.5 * f.loss_model(&mk(1000.0)).mean_rate());
+        assert!(
+            f.loss_model(&mk(8000.0)).mean_rate() > 1.5 * f.loss_model(&mk(1000.0)).mean_rate()
+        );
     }
 
     #[test]
@@ -665,10 +668,8 @@ mod blackout_tests {
 
     #[test]
     fn faultable_hops_get_blackout_schedules() {
-        let mut f = ChannelFactory::new(
-            CalibrationConfig::default(),
-            RngTree::new(7).subtree("ch"),
-        );
+        let mut f =
+            ChannelFactory::new(CalibrationConfig::default(), RngTree::new(7).subtree("ch"));
         let hop = ResolvedHop {
             kind: HopKind::IntraAs {
                 asn: Asn(1),

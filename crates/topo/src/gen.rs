@@ -100,7 +100,13 @@ pub fn generate(config: &TopoConfig) -> Result<Internet, GenError> {
                 let pickw = west[rng.gen_range(0..west.len())];
                 presence.push(city_by_name(pickw).expect("west coast city").0);
             }
-            stps.push(create_as(&mut internet, AsType::Stp, region, home, presence));
+            stps.push(create_as(
+                &mut internet,
+                AsType::Stp,
+                region,
+                home,
+                presence,
+            ));
         }
         for _ in 0..config.scaled_count(config.cahps_per_region, region) {
             let home = *pick(&mut rng, &region_cities);
@@ -111,11 +117,23 @@ pub fn generate(config: &TopoConfig) -> Result<Internet, GenError> {
                     presence.push(c);
                 }
             }
-            cahps.push(create_as(&mut internet, AsType::Cahp, region, home, presence));
+            cahps.push(create_as(
+                &mut internet,
+                AsType::Cahp,
+                region,
+                home,
+                presence,
+            ));
         }
         for _ in 0..config.scaled_count(config.ecs_per_region, region) {
             let home = *pick(&mut rng, &region_cities);
-            ecs.push(create_as(&mut internet, AsType::Ec, region, home, vec![home]));
+            ecs.push(create_as(
+                &mut internet,
+                AsType::Ec,
+                region,
+                home,
+                vec![home],
+            ));
         }
     }
 
@@ -157,7 +175,9 @@ pub fn generate(config: &TopoConfig) -> Result<Internet, GenError> {
                     .copied()
                     .filter(|c| city(*c).region == region)
                     .collect();
-                let Some(&first) = in_region.first() else { continue };
+                let Some(&first) = in_region.first() else {
+                    continue;
+                };
                 cities.push(first);
                 if let Some(&far) = in_region.iter().max_by(|a, b| {
                     Internet::city_km(first, **a)
@@ -342,7 +362,10 @@ pub fn generate(config: &TopoConfig) -> Result<Internet, GenError> {
 
     // --- 4. GeoIP error models -------------------------------------------
     if config.geoip_errors {
-        let toronto = city_by_name("Toronto").expect("Toronto in table").1.location;
+        let toronto = city_by_name("Toronto")
+            .expect("Toronto in table")
+            .1
+            .location;
         internet.geoip.apply_error_model(
             &GeoIpErrorModel::CityJitter {
                 max_km: config.geoip_jitter_km,
@@ -550,7 +573,9 @@ fn connect_at(
 ) {
     let ra = internet.router_of(a, city_a).expect("a has routers");
     let rb = internet.router_of(b, city_b).expect("b has routers");
-    internet.net.connect_ebgp(ra, rb, a_view, Policy::GaoRexford);
+    internet
+        .net
+        .connect_ebgp(ra, rb, a_view, Policy::GaoRexford);
     internet.record_link(ra, city_a, rb, city_b);
     let ca = Internet::city_km(internet.city_of_router(ra).expect("registered"), city_a) as u64;
     let cb = Internet::city_km(internet.city_of_router(rb).expect("registered"), city_b) as u64;
@@ -572,9 +597,11 @@ fn best_city_pairs(internet: &Internet, a: AsId, b: AsId, k: usize) -> Vec<(City
             pairs.push((Internet::city_km(ca, cb), ca, cb));
         }
     }
-    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite").then(
-        (x.1, x.2).cmp(&(y.1, y.2)),
-    ));
+    pairs.sort_by(|x, y| {
+        x.0.partial_cmp(&y.0)
+            .expect("finite")
+            .then((x.1, x.2).cmp(&(y.1, y.2)))
+    });
     pairs
         .into_iter()
         .take(k)
@@ -626,10 +653,7 @@ mod tests {
     fn all_four_types_present() {
         let internet = generate(&TopoConfig::tiny(3)).unwrap();
         for ty in AsType::ALL {
-            assert!(
-                internet.ases().any(|a| a.ty == ty),
-                "missing AS type {ty}"
-            );
+            assert!(internet.ases().any(|a| a.ty == ty), "missing AS type {ty}");
         }
     }
 
@@ -658,14 +682,18 @@ mod tests {
             let Some(sa) = a.speaker else { continue };
             let sp = internet.net.speaker(sa).unwrap();
             for prefix in internet.prefixes().take(50) {
-                let Some(best) = sp.best(&prefix.prefix) else { continue };
+                let Some(best) = sp.best(&prefix.prefix) else {
+                    continue;
+                };
                 let mut path = vec![a.asn];
                 path.extend(best.attrs.as_path.iter().copied());
                 // Classify each step: Up (to provider), Down (to customer),
                 // Flat (peer).
                 let mut gone_down = false;
                 for w in path.windows(2) {
-                    let Some(r) = rel.get(&(w[0], w[1])) else { continue };
+                    let Some(r) = rel.get(&(w[0], w[1])) else {
+                        continue;
+                    };
                     match r {
                         Relation::Provider => {
                             assert!(!gone_down, "valley in path {path:?}");

@@ -190,10 +190,7 @@ impl Internet {
 
     /// Interconnect candidates from `a` towards `b`.
     pub fn links_between(&self, a: SpeakerId, b: SpeakerId) -> &[(CityId, CityId)] {
-        self.session_links
-            .get(&(a, b))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.session_links.get(&(a, b)).map_or(&[], Vec::as_slice)
     }
 
     /// Registers a prefix: control plane origination is the caller's job;

@@ -445,7 +445,12 @@ mod tests {
             resolve_from_prefix(&internet, a.prefix.first_host(), b.prefix.first_host()).unwrap();
         // The routed path can't be shorter than ~the great circle and
         // shouldn't exceed a generous stretch bound.
-        assert!(path.total_km() >= gc * 0.6, "path {} vs gc {}", path.total_km(), gc);
+        assert!(
+            path.total_km() >= gc * 0.6,
+            "path {} vs gc {}",
+            path.total_km(),
+            gc
+        );
         assert!(path.total_km() <= gc * 4.0 + 4000.0);
     }
 }

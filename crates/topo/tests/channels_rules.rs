@@ -13,7 +13,7 @@ fn factory() -> ChannelFactory {
 }
 
 fn haul(from: &str, to: &str, km: f64) -> ResolvedHop {
-    let to_region = city_by_name(to).unwrap().1.region;
+    let to_region = city_by_name(to).expect("known city").1.region;
     ResolvedHop {
         kind: HopKind::IntraAs {
             asn: Asn(9),
@@ -21,8 +21,8 @@ fn haul(from: &str, to: &str, km: f64) -> ResolvedHop {
             region: to_region,
             dedicated: false,
         },
-        from_city: city_by_name(from).unwrap().0,
-        to_city: city_by_name(to).unwrap().0,
+        from_city: city_by_name(from).expect("known city").0,
+        to_city: city_by_name(to).expect("known city").0,
         km,
         label: format!("t:{from}->{to}"),
     }
@@ -46,7 +46,9 @@ fn eu_ap_route_is_hot() {
     // The Suez-era EU<->AP haul takes the heavy AP profile: far lossier
     // than a trans-Atlantic of the same length.
     let f = factory();
-    let suez = f.loss_model(&haul("Frankfurt", "Singapore", 6000.0)).mean_rate();
+    let suez = f
+        .loss_model(&haul("Frankfurt", "Singapore", 6000.0))
+        .mean_rate();
     let atlantic = f.loss_model(&haul("NewYork", "London", 6000.0)).mean_rate();
     assert!(
         suez > 2.0 * atlantic,
@@ -58,8 +60,12 @@ fn eu_ap_route_is_hot() {
 fn transpacific_is_premium() {
     // NA<->AP takes the milder NA profile (the paper's SJS observation).
     let f = factory();
-    let pacific = f.loss_model(&haul("SanJose", "Singapore", 13000.0)).mean_rate();
-    let suez = f.loss_model(&haul("Frankfurt", "Singapore", 13000.0)).mean_rate();
+    let pacific = f
+        .loss_model(&haul("SanJose", "Singapore", 13000.0))
+        .mean_rate();
+    let suez = f
+        .loss_model(&haul("Frankfurt", "Singapore", 13000.0))
+        .mean_rate();
     assert!(
         pacific < suez,
         "trans-Pacific {pacific} should be cleaner than EU-AP {suez}"
@@ -70,9 +76,16 @@ fn transpacific_is_premium() {
 fn scarce_regions_dominate_their_hauls() {
     // Anything touching OC/ME/AF/SA runs on the hot "rest" profile.
     let f = factory();
-    let au = f.loss_model(&haul("Singapore", "Sydney", 6300.0)).mean_rate();
-    let intra_ap = f.loss_model(&haul("Singapore", "HongKong", 6300.0)).mean_rate();
-    assert!(au >= intra_ap, "AU haul {au} at least as hot as AP {intra_ap}");
+    let au = f
+        .loss_model(&haul("Singapore", "Sydney", 6300.0))
+        .mean_rate();
+    let intra_ap = f
+        .loss_model(&haul("Singapore", "HongKong", 6300.0))
+        .mean_rate();
+    assert!(
+        au >= intra_ap,
+        "AU haul {au} at least as hot as AP {intra_ap}"
+    );
 }
 
 #[test]
@@ -91,15 +104,18 @@ fn long_leased_ports_are_oversubscribed() {
     };
     let metro = f.loss_model(&mk(1.0)).mean_rate();
     let backhaul = f.loss_model(&mk(5900.0)).mean_rate();
-    assert!(backhaul > 20.0 * metro, "backhaul {backhaul} vs metro {metro}");
+    assert!(
+        backhaul > 20.0 * metro,
+        "backhaul {backhaul} vs metro {metro}"
+    );
 }
 
 #[test]
 fn last_mile_diurnality_differs_by_type() {
     // CAHPs peak in the evening, ECs during business hours.
-    use vns_netsim::{Dur, LossProcess, SimTime};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use vns_netsim::{Dur, LossProcess, SimTime};
     let f = factory();
     let lm = |ty| ResolvedHop {
         kind: HopKind::LastMile {

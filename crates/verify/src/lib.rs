@@ -1,0 +1,431 @@
+//! Static control-plane invariant checker for a built VNS deployment.
+//!
+//! `vns-verify` is to this simulator what Batfish is to vendor configs: it
+//! audits *converged control-plane state* — every speaker's Adj-RIB-In,
+//! Loc-RIB and (recomputed) Adj-RIB-Out — against the routing invariants
+//! the paper's design depends on, without running the simulator forward.
+//! A deployment that converges can still be silently wrong: a stale
+//! override table, a LOCAL_PREF function that dips below the BGP default,
+//! a `NO_EXPORT` more-specific that escaped the AS, or a hidden route the
+//! reflectors never saw. Each of those is a paper-level failure mode
+//! (Secs 3.2 and 4.2), and each has a check here.
+//!
+//! The seven invariants:
+//!
+//! 1. **LP-SHAPE** — the `lp = f(d)` function is monotone nonincreasing
+//!    over the whole great-circle distance domain and its floor stays
+//!    *much* higher than the default preference of 100 (Sec 3.2: "always
+//!    much higher than the default value of 100").
+//! 2. **GEO-PREF** — every route in a reflector's Adj-RIB-In carries
+//!    exactly the LOCAL_PREF the geo hook assigns for its egress router
+//!    and prefix, overrides included (the hook was applied exactly once
+//!    and the override table is not stale).
+//! 3. **NO-EXPORT** — no `NO_EXPORT`-tagged route crossed or would cross
+//!    an AS boundary (Sec 3.2: injected steering more-specifics must stay
+//!    inside VNS).
+//! 4. **OVERRIDE** — the management override table is sane: forced exits
+//!    reference existing PoPs and no prefix is simultaneously exempt and
+//!    forced.
+//! 5. **HIDDEN-ROUTE** — a border router whose best route is iBGP-learned
+//!    but which holds an eBGP alternative still advertises that external
+//!    route to the reflectors (Sec 3.2's hidden-routes pathology and its
+//!    best-external fix).
+//! 6. **VALLEY-FREE** — every eBGP advertisement respects Gao–Rexford
+//!    export scoping: peer- or provider-learned routes are only exported
+//!    to customers.
+//! 7. **NEXT-HOP** — every iBGP-learned route held by a VNS router has a
+//!    next hop reachable in the VNS IGP (a route that wins on LOCAL_PREF
+//!    but cannot be resolved would blackhole traffic).
+//!
+//! The checks assume the network has been run to quiescence
+//! ([`vns_bgp::BgpNet::run`]); on a mid-convergence network they may
+//! report transients.
+//!
+//! Entry point: [`verify`]. The `vns-verify` binary (in `vns-bench`)
+//! pretty-prints the [`Report`] and exits nonzero on errors, and the
+//! campaign drivers run [`verify`] as a fail-fast pre-flight.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vns_bgp::{Prefix, SpeakerId};
+use vns_core::{LocalPrefFn, Vns};
+use vns_topo::Internet;
+
+mod checks;
+
+/// How bad a violation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong (e.g. a hidden route on a
+    /// deployment that deliberately disabled best-external).
+    Warning,
+    /// The invariant is broken; the deployment will misroute.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("WARN"),
+            Severity::Error => f.write_str("ERROR"),
+        }
+    }
+}
+
+/// Which invariant a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Invariant {
+    /// LOCAL_PREF function shape (monotonicity + floor).
+    LpFnShape,
+    /// Reflector Adj-RIB-In preference matches the geo hook.
+    GeoPreference,
+    /// `NO_EXPORT` containment inside the AS.
+    NoExportLeak,
+    /// Override table sanity.
+    OverrideSanity,
+    /// Best-external visibility of hidden routes.
+    HiddenRoute,
+    /// Gao–Rexford export compliance.
+    ValleyFree,
+    /// IGP resolvability of iBGP next hops.
+    NextHopResolution,
+}
+
+impl Invariant {
+    /// Short code used in rendered reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Invariant::LpFnShape => "LP-SHAPE",
+            Invariant::GeoPreference => "GEO-PREF",
+            Invariant::NoExportLeak => "NO-EXPORT",
+            Invariant::OverrideSanity => "OVERRIDE",
+            Invariant::HiddenRoute => "HIDDEN-ROUTE",
+            Invariant::ValleyFree => "VALLEY-FREE",
+            Invariant::NextHopResolution => "NEXT-HOP",
+        }
+    }
+
+    /// All invariants, in report order.
+    pub const ALL: [Invariant; 7] = [
+        Invariant::LpFnShape,
+        Invariant::GeoPreference,
+        Invariant::NoExportLeak,
+        Invariant::OverrideSanity,
+        Invariant::HiddenRoute,
+        Invariant::ValleyFree,
+        Invariant::NextHopResolution,
+    ];
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding: an invariant broken at a specific place.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The invariant that is violated.
+    pub invariant: Invariant,
+    /// How bad it is.
+    pub severity: Severity,
+    /// The speaker where the violation was observed, if localisable.
+    pub speaker: Option<SpeakerId>,
+    /// The prefix involved, if localisable.
+    pub prefix: Option<Prefix>,
+    /// Human explanation of what is wrong and why it matters.
+    pub message: String,
+}
+
+impl Violation {
+    /// An error-severity violation.
+    pub fn error(invariant: Invariant, message: impl Into<String>) -> Self {
+        Self {
+            invariant,
+            severity: Severity::Error,
+            speaker: None,
+            prefix: None,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity violation.
+    pub fn warning(invariant: Invariant, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Warning,
+            ..Self::error(invariant, message)
+        }
+    }
+
+    /// Attaches the speaker the violation was observed at.
+    #[must_use]
+    pub fn at(mut self, speaker: SpeakerId) -> Self {
+        self.speaker = Some(speaker);
+        self
+    }
+
+    /// Attaches the prefix involved.
+    #[must_use]
+    pub fn on(mut self, prefix: Prefix) -> Self {
+        self.prefix = Some(prefix);
+        self
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}]", self.severity, self.invariant)?;
+        if let Some(s) = self.speaker {
+            write!(f, " {s}")?;
+        }
+        if let Some(p) = self.prefix {
+            write!(f, " {p}")?;
+        }
+        write!(f, " — {}", self.message)
+    }
+}
+
+/// Per-invariant cap on individually reported violations; a single broken
+/// mechanism (say, a stale override table) can taint thousands of RIB
+/// entries, and one summary line carries the same signal as the flood.
+const MAX_PER_INVARIANT: usize = 100;
+
+/// Collects violations with per-invariant truncation.
+#[derive(Debug, Default)]
+pub(crate) struct Reporter {
+    violations: Vec<Violation>,
+    /// (invariant, severity) -> total observed (reported + suppressed).
+    counts: BTreeMap<(Invariant, Severity), usize>,
+}
+
+impl Reporter {
+    /// Records a violation (dropped past [`MAX_PER_INVARIANT`] per
+    /// invariant; the total still counts toward the summary).
+    pub(crate) fn push(&mut self, v: Violation) {
+        *self.counts.entry((v.invariant, v.severity)).or_default() += 1;
+        let reported: usize = Severity::ALL_FOR_COUNT
+            .iter()
+            .filter_map(|s| self.counts.get(&(v.invariant, *s)))
+            .sum();
+        if reported <= MAX_PER_INVARIANT {
+            self.violations.push(v);
+        }
+    }
+
+    /// Finalises into a [`Report`], appending one summary line per
+    /// truncated invariant.
+    pub(crate) fn finish(mut self) -> Report {
+        for inv in Invariant::ALL {
+            let total: usize = Severity::ALL_FOR_COUNT
+                .iter()
+                .filter_map(|s| self.counts.get(&(inv, *s)))
+                .sum();
+            if total > MAX_PER_INVARIANT {
+                let worst = if self.counts.contains_key(&(inv, Severity::Error)) {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                };
+                let suppressed = total - MAX_PER_INVARIANT;
+                let mut v = Violation::error(
+                    inv,
+                    format!("… and {suppressed} more {inv} violations suppressed"),
+                );
+                v.severity = worst;
+                self.violations.push(v);
+            }
+        }
+        Report {
+            violations: self.violations,
+            counts: self.counts,
+        }
+    }
+}
+
+impl Severity {
+    /// Both severities (counting helper).
+    const ALL_FOR_COUNT: [Severity; 2] = [Severity::Warning, Severity::Error];
+}
+
+/// The outcome of a verification run.
+#[derive(Debug)]
+pub struct Report {
+    violations: Vec<Violation>,
+    /// Total observed per (invariant, severity), truncation included.
+    counts: BTreeMap<(Invariant, Severity), usize>,
+}
+
+impl Report {
+    /// All recorded violations (per-invariant truncated, summary lines
+    /// included).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Violations of a specific invariant.
+    pub fn of(&self, invariant: Invariant) -> impl Iterator<Item = &Violation> + '_ {
+        self.violations
+            .iter()
+            .filter(move |v| v.invariant == invariant)
+    }
+
+    /// Total error-severity findings (untruncated count).
+    pub fn error_count(&self) -> usize {
+        self.counts
+            .iter()
+            .filter(|((_, s), _)| *s == Severity::Error)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total warning-severity findings (untruncated count).
+    pub fn warning_count(&self) -> usize {
+        self.counts
+            .iter()
+            .filter(|((_, s), _)| *s == Severity::Warning)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// True when no violations at all were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// True when no *error*-severity violations were found (the campaign
+    /// pre-flight gate).
+    pub fn passes(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Renders the whole report as human-readable text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            out.push_str("vns-verify: control plane clean (7 invariants checked)\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "vns-verify: {} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Runs every invariant check against a converged deployment.
+///
+/// `internet` must have been run to quiescence; `vns` is the deployment
+/// built into it by [`vns_core::build_vns`].
+pub fn verify(internet: &Internet, vns: &Vns) -> Report {
+    let mut rep = Reporter::default();
+    checks::lp_fn_shape(vns.lp_fn(), "deployed", &mut rep);
+    checks::override_sanity(vns, &mut rep);
+    checks::geo_preference(internet, vns, &mut rep);
+    checks::no_export_containment(internet, &mut rep);
+    checks::hidden_routes(internet, vns, &mut rep);
+    checks::valley_free(internet, &mut rep);
+    checks::next_hop_resolution(internet, vns, &mut rep);
+    rep.finish()
+}
+
+/// Audits a single LOCAL_PREF function shape in isolation (invariant 1
+/// only) — lets tests and the ablation tooling vet a candidate `f(d)`
+/// before deploying it.
+pub fn check_local_pref_fn(lp_fn: LocalPrefFn) -> Vec<Violation> {
+    let mut rep = Reporter::default();
+    checks::lp_fn_shape(lp_fn, "candidate", &mut rep);
+    rep.finish().violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_renders_location() {
+        let v = Violation::error(Invariant::GeoPreference, "mismatch")
+            .at(SpeakerId(7))
+            .on("10.0.0.0/8".parse().expect("prefix"));
+        let s = v.to_string();
+        assert!(s.contains("ERROR"), "{s}");
+        assert!(s.contains("GEO-PREF"), "{s}");
+        assert!(s.contains("R7"), "{s}");
+        assert!(s.contains("10.0.0.0/8"), "{s}");
+    }
+
+    #[test]
+    fn reporter_truncates_per_invariant() {
+        let mut rep = Reporter::default();
+        for _ in 0..(MAX_PER_INVARIANT + 50) {
+            rep.push(Violation::error(Invariant::ValleyFree, "x"));
+        }
+        rep.push(Violation::warning(Invariant::HiddenRoute, "y"));
+        let report = rep.finish();
+        // 100 individual + 1 summary for valley-free, 1 for hidden-route.
+        assert_eq!(report.violations().len(), MAX_PER_INVARIANT + 2);
+        assert_eq!(report.error_count(), MAX_PER_INVARIANT + 50);
+        assert_eq!(report.warning_count(), 1);
+        assert!(!report.passes());
+        let summary = report
+            .of(Invariant::ValleyFree)
+            .last()
+            .expect("summary line");
+        assert!(summary.message.contains("50 more"), "{}", summary.message);
+    }
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let report = Reporter::default().finish();
+        assert!(report.is_clean());
+        assert!(report.passes());
+        assert!(report.render().contains("clean"));
+    }
+
+    #[test]
+    fn default_shapes_pass_shape_check() {
+        for f in [
+            LocalPrefFn::default(),
+            LocalPrefFn::Inverse {
+                floor: 1_000,
+                scale: 2_000_000.0,
+            },
+            LocalPrefFn::Stepped,
+        ] {
+            let vs = check_local_pref_fn(f);
+            assert!(vs.is_empty(), "{f:?}: {vs:?}");
+        }
+    }
+
+    #[test]
+    fn broken_shapes_flagged() {
+        // Floor at or below the BGP default: geo scores stop dominating
+        // plain routes.
+        let low = check_local_pref_fn(LocalPrefFn::BandedLinear {
+            floor: 0,
+            band_km: 1_000_000.0,
+        });
+        assert!(low.iter().any(|v| v.severity == Severity::Error), "{low:?}");
+        // Floor above default but nowhere near "much higher": warning.
+        let near = check_local_pref_fn(LocalPrefFn::BandedLinear {
+            floor: 150,
+            band_km: 1_000_000.0,
+        });
+        assert!(
+            near.iter().any(|v| v.severity == Severity::Warning),
+            "{near:?}"
+        );
+    }
+}

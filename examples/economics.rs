@@ -65,8 +65,7 @@ fn main() {
         let name = |r| {
             vns_geo
                 .pop_of_router(r)
-                .map(|p| vns_geo.pop(p).code().to_string())
-                .unwrap_or_else(|| "?".into())
+                .map_or_else(|| "?".into(), |p| vns_geo.pop(p).code().to_string())
         };
         let (x, y) = (name(*a), name(*b));
         if x == y {

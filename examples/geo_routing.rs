@@ -27,17 +27,23 @@ fn main() {
     let after = build_vns(&mut after_net, &VnsConfig::default()).expect("converge");
 
     println!("\nEgress PoP from London for sample prefixes:");
-    println!("{:<18} {:<14} {:>10} {:>10}", "prefix", "located", "before", "after");
-    for p in after_net.prefixes().filter(|p| p.last_mile).step_by(23).take(14) {
+    println!(
+        "{:<18} {:<14} {:>10} {:>10}",
+        "prefix", "located", "before", "after"
+    );
+    for p in after_net
+        .prefixes()
+        .filter(|p| p.last_mile)
+        .step_by(23)
+        .take(14)
+    {
         let ip = p.prefix.first_host();
         let b = before
             .egress_pop(&before_net, viewpoint, ip)
-            .map(|e| before.pop(e).code())
-            .unwrap_or("-");
+            .map_or("-", |e| before.pop(e).code());
         let a = after
             .egress_pop(&after_net, viewpoint, ip)
-            .map(|e| after.pop(e).code())
-            .unwrap_or("-");
+            .map_or("-", |e| after.pop(e).code());
         println!(
             "{:<18} {:<14} {:>10} {:>10}",
             p.prefix.to_string(),
@@ -76,7 +82,9 @@ fn main() {
     let ip = victim.first_host();
     println!("\nManagement interface on {victim}:");
     let show = |net: &vns::topo::Internet, label: &str| {
-        let e = after.egress_pop(net, viewpoint, ip).unwrap();
+        let e = after
+            .egress_pop(net, viewpoint, ip)
+            .expect("egress resolves");
         println!("  {label}: exits at {}", after.pop(e).code());
     };
     show(&after_net, "geo default     ");
@@ -88,7 +96,9 @@ fn main() {
         .mgmt_exempt(&mut after_net, victim)
         .expect("reconverges");
     show(&after_net, "exempted        ");
-    after.mgmt_clear(&mut after_net, victim).expect("reconverges");
+    after
+        .mgmt_clear(&mut after_net, victim)
+        .expect("reconverges");
     show(&after_net, "cleared         ");
 
     // Steer one /18 of it via Hong Kong without leaking the route.
@@ -98,7 +108,7 @@ fn main() {
         .expect("reconverges");
     let e = after
         .egress_pop(&after_net, viewpoint, sub.first_host())
-        .unwrap();
+        .expect("egress resolves");
     println!(
         "  injected {} at HKG: that subnet now exits at {} (NO_EXPORT keeps it inside VNS)",
         sub,

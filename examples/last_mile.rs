@@ -27,8 +27,14 @@ fn main() {
     let schedule = rounds(SimTime::EPOCH, Dur::from_mins(60), Dur::from_days(1));
 
     for &vp in &vantages {
-        println!("\nfrom {} (average loss over a day, 100-packet trains):", vns.pop(vp).code());
-        println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "region", "LTP", "STP", "CAHP", "EC");
+        println!(
+            "\nfrom {} (average loss over a day, 100-packet trains):",
+            vns.pop(vp).code()
+        );
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>8}",
+            "region", "LTP", "STP", "CAHP", "EC"
+        );
         for region in [Region::Europe, Region::NorthAmerica, Region::AsiaPacific] {
             let mut row = format!("{:<8}", region.code());
             for ty in AsType::ALL {
@@ -59,5 +65,7 @@ fn main() {
             println!("{row}");
         }
     }
-    println!("\n(compare with the paper's Table 1: CAHP > EC > STP > LTP in AP and EU, flat in NA)");
+    println!(
+        "\n(compare with the paper's Table 1: CAHP > EC > STP > LTP in AP and EU, flat in NA)"
+    );
 }

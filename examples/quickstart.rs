@@ -69,7 +69,10 @@ fn main() {
     let (ingress, _) = vns
         .anycast_landing(&internet, caller.prefix.first_host())
         .expect("relay reachable");
-    println!("caller's relay request lands at PoP {}", vns.pop(ingress).code());
+    println!(
+        "caller's relay request lands at PoP {}",
+        vns.pop(ingress).code()
+    );
 
     // The relayed media path.
     let relayed = vns
@@ -82,7 +85,9 @@ fn main() {
     println!("\nrelayed media path ({:.0} km):", relayed.total_km());
     for hop in &relayed.hops {
         let tag = match hop.kind {
-            HopKind::IntraAs { dedicated: true, .. } => "VNS circuit",
+            HopKind::IntraAs {
+                dedicated: true, ..
+            } => "VNS circuit",
             HopKind::IntraAs { .. } => "shared haul",
             HopKind::InterAs { .. } => "interconnect",
             HopKind::LastMile { .. } => "last mile",
@@ -120,8 +125,11 @@ fn main() {
         let mut sent = 0u32;
         let mut returned = 0u32;
         for s in 0..8u64 {
-            let sched =
-                VideoSpec::HD1080.schedule(SimTime::EPOCH + Dur::from_hours(3 * s), cfg.duration, &mut rng);
+            let sched = VideoSpec::HD1080.schedule(
+                SimTime::EPOCH + Dur::from_hours(3 * s),
+                cfg.duration,
+                &mut rng,
+            );
             let r = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
             sent += r.sent;
             returned += r.returned;
@@ -132,5 +140,7 @@ fn main() {
             100.0 * f64::from(sent - returned) / f64::from(sent)
         );
     }
-    println!("(the paper: users complain above 0.15% — VNS keeps the long haul on dedicated circuits)");
+    println!(
+        "(the paper: users complain above 0.15% — VNS keeps the long haul on dedicated circuits)"
+    );
 }

@@ -67,7 +67,11 @@ fn media_through_vns_beats_transit() {
         rate(0),
         rate(1)
     );
-    assert!(rate(0) < 0.001, "VNS streams are near-lossless: {}", rate(0));
+    assert!(
+        rate(0) < 0.001,
+        "VNS streams are near-lossless: {}",
+        rate(0)
+    );
 }
 
 #[test]
@@ -92,7 +96,10 @@ fn rtt_probes_scale_with_distance() {
         results.push(probe.min_rtt_ms.expect("reachable"));
     }
     let (from_ams, from_syd) = (results[0], results[1]);
-    assert!(from_syd > from_ams + 100.0, "AMS {from_ams} vs SYD {from_syd}");
+    assert!(
+        from_syd > from_ams + 100.0,
+        "AMS {from_ams} vs SYD {from_syd}"
+    );
     // Physical lower bound: great-circle RTT at 200 km/ms.
     let syd_km = f.vns.pop(PopId(11)).location().distance_km(&loc);
     assert!(
@@ -186,8 +193,7 @@ fn whole_world_is_deterministic() {
         let mut fwd = f.factory.channel(&path, "det");
         let mut rev = f.factory.channel(&path.reversed(), "det:r");
         let mut rng = SmallRng::seed_from_u64(9);
-        let sched =
-            VideoSpec::HD720.schedule(SimTime::EPOCH, Dur::from_secs(60), &mut rng);
+        let sched = VideoSpec::HD720.schedule(SimTime::EPOCH, Dur::from_secs(60), &mut rng);
         let cfg = SessionConfig::default();
         let r = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
         (

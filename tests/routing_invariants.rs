@@ -27,8 +27,7 @@ fn no_forwarding_loops_anywhere() {
                     Ok(path) => {
                         resolved += 1;
                         // A resolved path's router list never repeats.
-                        let set: std::collections::BTreeSet<_> =
-                            path.routers.iter().collect();
+                        let set: std::collections::BTreeSet<_> = path.routers.iter().collect();
                         assert_eq!(set.len(), path.routers.len(), "seed {seed}");
                     }
                     Err(e) => panic!("seed {seed}: {} from {}: {e}", pinfo.prefix, pop.code()),
@@ -52,10 +51,15 @@ fn vns_interior_is_dedicated_until_egress() {
         let mut released = false;
         for hop in &path.hops {
             match hop.kind {
-                HopKind::IntraAs { dedicated: true, .. } => {
+                HopKind::IntraAs {
+                    dedicated: true, ..
+                } => {
                     assert!(!released, "re-entered VNS after release: {}", hop.label);
                 }
-                HopKind::IntraAs { dedicated: false, .. } | HopKind::LastMile { .. } => {
+                HopKind::IntraAs {
+                    dedicated: false, ..
+                }
+                | HopKind::LastMile { .. } => {
                     released = true;
                 }
                 HopKind::InterAs { .. } => {}
@@ -101,7 +105,10 @@ fn anycast_reachable_from_every_stub() {
     let mut total = 0;
     for p in internet.prefixes().filter(|p| p.last_mile) {
         total += 1;
-        if vns.anycast_landing(&internet, p.prefix.first_host()).is_ok() {
+        if vns
+            .anycast_landing(&internet, p.prefix.first_host())
+            .is_ok()
+        {
             reached += 1;
         }
     }

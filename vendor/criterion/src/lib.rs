@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors this
+//! minimal harness with the same surface the benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `BenchmarkId`, `black_box`). Each benchmark runs a
+//! short calibration burst, then a fixed measurement window, and prints the
+//! mean time per iteration. No statistical analysis, warm-up phases, plots,
+//! or command-line filtering.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count to fill roughly a
+    /// tenth of a second of measurement.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find an iteration count that takes ~10ms.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(10) || n >= 1 << 20 {
+                // Measurement: scale to a ~100ms window.
+                let per_iter = took.as_secs_f64() / n as f64;
+                let m = ((0.1 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+                let start = Instant::now();
+                for _ in 0..m {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = m;
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<D, F>(&mut self, id: D, mut f: F) -> &mut Self
+    where
+        D: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&id.to_string(), &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<D, F>(&mut self, id: D, mut f: F) -> &mut Self
+    where
+        D: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{name:<40} (not measured)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,526 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors this
+//! minimal property-testing harness implementing the subset of the proptest
+//! 1.x API the test suites use: the `proptest!` macro, `Strategy` with
+//! `prop_map`, range/tuple/`Just`/`prop_oneof!`/`any` strategies,
+//! `prop::collection::vec`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed derived from the test name (fully reproducible runs), there is no
+//! shrinking (a failure reports the first counterexample as-is), and the
+//! default case count is 64.
+
+/// Deterministic PRNG handed to strategies while generating a test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for `(test name, case index)`.
+    pub fn new(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Returns the next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "TestRng::below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (**self).gen_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (built by `prop_oneof!`).
+    pub struct OneOf<T> {
+        alternatives: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds the union; panics if `alternatives` is empty.
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { alternatives }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.alternatives.len() as u64) as usize;
+            self.alternatives[i].gen_value(rng)
+        }
+    }
+
+    /// Numeric types that support uniform range strategies.
+    pub trait RangeValue: Copy {
+        /// Uniform sample from `[low, high)`.
+        fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_range_value_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl RangeValue for $t {
+                fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                    assert!(low < high, "empty strategy range");
+                    let span = (high as i128 - low as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (low as i128 + v as i128) as $t
+                }
+                fn sample_inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                    assert!(low <= high, "empty strategy range");
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (low as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_value_float {
+        ($($t:ty),* $(,)?) => {$(
+            impl RangeValue for $t {
+                fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                    assert!(low < high, "empty strategy range");
+                    let v = low as f64 + rng.next_f64() * (high as f64 - low as f64);
+                    let v = v as $t;
+                    if v >= high { low } else { v }
+                }
+                fn sample_inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                    assert!(low <= high, "empty strategy range");
+                    let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                    (low as f64 + u * (high as f64 - low as f64)) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_value_float!(f32, f64);
+
+    impl<T: RangeValue> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+/// Types with a canonical "whole domain" strategy (used by [`prelude::any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// A strategy over the whole domain of `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for a primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyOf<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl strategy::Strategy for AnyOf<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyOf(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl strategy::Strategy for AnyOf<bool> {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for bool {
+    type Strategy = AnyOf<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOf(core::marker::PhantomData)
+    }
+}
+
+impl strategy::Strategy for AnyOf<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        // Finite floats over a wide magnitude range, both signs.
+        let mag = (rng.next_f64() * 2.0 - 1.0) * 1.0e9;
+        mag * rng.next_f64()
+    }
+}
+impl Arbitrary for f64 {
+    type Strategy = AnyOf<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOf(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::{RangeValue, Strategy};
+    use super::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector of values from `element` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = usize::sample_half_open(self.len.start, self.len.end.max(self.len.start + 1), rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and driver used by the `proptest!` expansion.
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Drives the per-case loop for one `proptest!` test function.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the named test.
+        pub fn new(config: Config, name: &'static str) -> Self {
+            TestRunner { config, name }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u64 {
+            u64::from(self.config.cases)
+        }
+
+        /// Deterministic RNG for one case.
+        pub fn rng_for(&self, case: u64) -> TestRng {
+            TestRng::new(self.name, case)
+        }
+    }
+}
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use super::{Arbitrary, TestRng};
+
+    /// A strategy over the whole domain of `T`.
+    pub fn any<T: super::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Namespace mirror of upstream's `prop::` module.
+    pub mod prop {
+        /// Collection strategies.
+        pub mod collection {
+            pub use crate::collection::vec;
+        }
+    }
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministically generated
+/// cases. Supports an optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut prop_rng = runner.rng_for(case);
+                $(
+                    let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut prop_rng);
+                )+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    ::std::panic!("proptest {} failed at case {}: {}", stringify!($name), case, msg);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategy alternatives with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $(::std::boxed::Box::new($alt) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (reports the counterexample).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), lhs, rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a), stringify!($b), lhs
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3u32..17, f in -1.0f64..1.0, k in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(k <= 4);
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u8..=32, any::<u32>()).prop_map(|(l, a)| (l, a))) {
+            prop_assert!(p.0 <= 32);
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| *x < 10));
+        }
+
+        #[test]
+        fn oneof_covers_arms(c in prop_oneof![Just(1u8), Just(2u8), (5u8..7)]) {
+            prop_assert!(c == 1 || c == 2 || c == 5 || c == 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_applies(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}
