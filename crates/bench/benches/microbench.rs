@@ -120,7 +120,7 @@ fn bench_path_resolution(c: &mut Criterion) {
 
 fn bench_media_session(c: &mut Criterion) {
     use vns_media::{run_echo_session, SessionConfig, VideoSpec};
-    let mut world = World::geo(13, 0.45);
+    let world = World::geo(13, 0.45);
     let echo = world.vns.echo_servers()[0];
     let path = world
         .vns

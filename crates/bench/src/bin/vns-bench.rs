@@ -1,7 +1,8 @@
 //! `vns-bench` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] <cmd>
+//! vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F]
+//!           [--threads N] [--out DIR] <cmd>
 //!
 //! cmd: fig3 | as-congruence | fig4 | fig5 | fig6 | fig7 | fig9 | fig10 |
 //!      fig11 | fig12 | table1 | jitter |
@@ -13,14 +14,22 @@
 //! Results print to stdout as labelled series/tables (see EXPERIMENTS.md
 //! for paper-vs-measured). Run with `--release`; the default scales finish
 //! in a few minutes combined.
+//!
+//! Campaigns fan their work units out over `--threads N` workers
+//! (default: all hardware threads; `--threads 1` is the sequential path).
+//! Output artefacts are byte-identical at any thread count — the thread
+//! count only moves wall-clock, which is recorded per experiment in
+//! `BENCH_campaigns.json` (written next to the artefacts, or the working
+//! directory without `--out`).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use vns_bench::experiments::{
     ablate, congruence, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig9, jitter, table1,
 };
 use vns_bench::World;
-use vns_netsim::Dur;
+use vns_netsim::{Dur, Par};
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -29,6 +38,7 @@ struct Opts {
     sessions: usize,
     hosts_per_cell: usize,
     days: f64,
+    threads: usize,
     out: Option<std::path::PathBuf>,
     cmd: String,
 }
@@ -40,6 +50,7 @@ fn parse_args() -> Result<Opts, String> {
         sessions: 40,
         hosts_per_cell: 10,
         days: 2.0,
+        threads: 0,
         out: None,
         cmd: String::new(),
     };
@@ -75,6 +86,11 @@ fn parse_args() -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--days: {e}"))?;
             }
+            "--threads" => {
+                opts.threads = take("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
             "--out" => opts.out = Some(std::path::PathBuf::from(take("--out")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             cmd if !cmd.starts_with('-') && opts.cmd.is_empty() => opts.cmd = cmd.to_string(),
@@ -87,13 +103,82 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
-const USAGE: &str = "usage: vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] [--out DIR] <experiment>\n\
+const USAGE: &str = "usage: vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] [--threads N] [--out DIR] <experiment>\n\
 experiments: fig3 as-congruence fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 table1 jitter\n\
              ablate-lp ablate-best-external ablate-geoip ablate-fec ablate-l2 ablate-mode\n\
-             ablate-measurement ablate-auto-override economics setup-time all";
+             ablate-measurement ablate-auto-override economics setup-time all\n\
+--threads 0 (default) uses every hardware thread; artefacts are byte-identical at any count";
 
 fn campaign_span(opts: &Opts) -> Dur {
     Dur::from_mins((opts.days * 24.0 * 60.0) as u64)
+}
+
+/// One timed experiment for `BENCH_campaigns.json`.
+#[derive(Debug)]
+struct ExpRecord {
+    name: &'static str,
+    wall_s: f64,
+    units: u64,
+}
+
+/// Times `f` and samples the global work-unit counter around it.
+fn timed<T>(records: &mut Vec<ExpRecord>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let units0 = vns_netsim::par::units_processed();
+    let t0 = Instant::now();
+    let out = f();
+    records.push(ExpRecord {
+        name,
+        wall_s: t0.elapsed().as_secs_f64(),
+        units: vns_netsim::par::units_processed() - units0,
+    });
+    out
+}
+
+/// Renders the perf ledger. Hand-formatted JSON: the workspace has no
+/// serde, and the schema is flat.
+fn campaigns_json(opts: &Opts, par: Par, records: &[ExpRecord], total_s: f64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"cmd\": \"{}\",\n", opts.cmd));
+    s.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    s.push_str(&format!("  \"scale\": {},\n", opts.scale));
+    s.push_str(&format!("  \"threads\": {},\n", par.threads()));
+    s.push_str(&format!("  \"total_wall_s\": {total_s:.3},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let tput = if r.wall_s > 0.0 {
+            r.units as f64 / r.wall_s
+        } else {
+            0.0
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"units\": {}, \"units_per_s\": {tput:.1}}}{}\n",
+            r.name,
+            r.wall_s,
+            r.units,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes `BENCH_campaigns.json` to `--out` (or the working directory).
+fn write_campaigns(
+    opts: &Opts,
+    par: Par,
+    records: &[ExpRecord],
+    total_s: f64,
+) -> Result<(), String> {
+    let dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let path = dir.join("BENCH_campaigns.json");
+    std::fs::write(&path, campaigns_json(opts, par, records, total_s))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 /// Prints a result and, with `--out`, also writes it to `DIR/<cmd>.txt`
@@ -109,164 +194,279 @@ fn emit(opts: &Opts, cmd: &str, body: String) -> Result<(), String> {
     Ok(())
 }
 
-fn run_one(opts: &Opts, cmd: &str) -> Result<(), String> {
+#[allow(clippy::too_many_lines)]
+fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result<(), String> {
     let timer = std::time::Instant::now();
-    eprintln!("== {cmd} (seed {}, scale {}) ==", opts.seed, opts.scale);
+    eprintln!(
+        "== {cmd} (seed {}, scale {}, threads {}) ==",
+        opts.seed,
+        opts.scale,
+        par.threads()
+    );
     match cmd {
         "fig3" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            emit(opts, cmd, fig3::run(&mut w).to_string())?;
+            let w = World::geo(opts.seed, opts.scale);
+            let r = timed(rec, "fig3", || fig3::run(&w, par));
+            emit(opts, cmd, r.to_string())?;
         }
         "as-congruence" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            emit(opts, cmd, congruence::run(&mut w).to_string())?;
+            let w = World::geo(opts.seed, opts.scale);
+            let r = timed(rec, "as-congruence", || congruence::run(&w, par));
+            emit(opts, cmd, r.to_string())?;
         }
         "fig4" => {
             let before = World::hot(opts.seed, opts.scale);
             let after = World::geo(opts.seed, opts.scale);
-            emit(opts, cmd, fig4::run(&before, &after).to_string())?;
+            let r = timed(rec, "fig4", || fig4::run(&before, &after));
+            emit(opts, cmd, r.to_string())?;
         }
         "fig5" => {
             let before = World::hot(opts.seed, opts.scale);
             let after = World::geo(opts.seed, opts.scale);
-            emit(opts, cmd, fig5::run(&before, &after).to_string())?;
+            let r = timed(rec, "fig5", || fig5::run(&before, &after));
+            emit(opts, cmd, r.to_string())?;
         }
         "fig6" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            emit(opts, cmd, fig6::run(&mut w, 3).to_string())?;
+            let w = World::geo(opts.seed, opts.scale);
+            let r = timed(rec, "fig6", || fig6::run(&w, 3, par));
+            emit(opts, cmd, r.to_string())?;
         }
         "fig7" => {
             let w = World::geo(opts.seed, opts.scale);
-            emit(opts, cmd, fig7::run(&w).to_string())?;
+            let r = timed(rec, "fig7", || fig7::run(&w, par));
+            emit(opts, cmd, r.to_string())?;
         }
         "fig9" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            emit(opts, cmd, fig9::run(&mut w, opts.sessions).to_string())?;
+            let w = World::geo(opts.seed, opts.scale);
+            let r = timed(rec, "fig9", || fig9::run(&w, opts.sessions, par));
+            emit(opts, cmd, r.to_string())?;
         }
         "fig10" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            let nine = fig9::run(&mut w, opts.sessions);
+            let w = World::geo(opts.seed, opts.scale);
+            let nine = timed(rec, "fig10", || fig9::run(&w, opts.sessions, par));
             emit(opts, cmd, fig10::run(&nine.sessions).to_string())?;
         }
         "fig11" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            let data = fig11::run_campaign(
-                &mut w,
-                opts.hosts_per_cell,
-                Dur::from_mins(30),
-                campaign_span(opts),
-            );
+            let w = World::geo(opts.seed, opts.scale);
+            let data = timed(rec, "fig11", || {
+                fig11::run_campaign(
+                    &w,
+                    opts.hosts_per_cell,
+                    Dur::from_mins(30),
+                    campaign_span(opts),
+                    par,
+                )
+            });
             emit(opts, cmd, fig11::run(&data).to_string())?;
         }
         "fig12" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            let data = fig11::run_campaign(
-                &mut w,
-                opts.hosts_per_cell,
-                Dur::from_mins(30),
-                campaign_span(opts),
-            );
+            let w = World::geo(opts.seed, opts.scale);
+            let data = timed(rec, "fig12", || {
+                fig11::run_campaign(
+                    &w,
+                    opts.hosts_per_cell,
+                    Dur::from_mins(30),
+                    campaign_span(opts),
+                    par,
+                )
+            });
             emit(opts, cmd, fig12::run(&data).to_string())?;
         }
         "table1" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            let data = fig11::run_campaign(
-                &mut w,
-                opts.hosts_per_cell,
-                Dur::from_mins(30),
-                campaign_span(opts),
-            );
+            let w = World::geo(opts.seed, opts.scale);
+            let data = timed(rec, "table1", || {
+                fig11::run_campaign(
+                    &w,
+                    opts.hosts_per_cell,
+                    Dur::from_mins(30),
+                    campaign_span(opts),
+                    par,
+                )
+            });
             emit(opts, cmd, table1::run(&data).to_string())?;
         }
         "jitter" => {
-            let mut w = World::geo(opts.seed, opts.scale);
-            emit(
-                opts,
-                cmd,
-                jitter::run(&mut w, opts.sessions.min(20)).to_string(),
-            )?;
+            let w = World::geo(opts.seed, opts.scale);
+            let r = timed(rec, "jitter", || {
+                jitter::run(&w, opts.sessions.min(20), par)
+            });
+            emit(opts, cmd, r.to_string())?;
         }
         "ablate-lp" => emit(
             opts,
             cmd,
-            ablate::lp_shape(opts.seed, opts.scale).to_string(),
+            timed(rec, "ablate-lp", || ablate::lp_shape(opts.seed, opts.scale)).to_string(),
         )?,
         "ablate-best-external" => {
             emit(
                 opts,
                 cmd,
-                ablate::best_external(opts.seed, opts.scale).to_string(),
+                timed(rec, "ablate-best-external", || {
+                    ablate::best_external(opts.seed, opts.scale)
+                })
+                .to_string(),
             )?;
         }
-        "ablate-geoip" => emit(opts, cmd, ablate::geoip(opts.seed, opts.scale).to_string())?,
-        "ablate-fec" => emit(opts, cmd, ablate::fec_arq(opts.seed).to_string())?,
+        "ablate-geoip" => emit(
+            opts,
+            cmd,
+            timed(rec, "ablate-geoip", || ablate::geoip(opts.seed, opts.scale)).to_string(),
+        )?,
+        "ablate-fec" => emit(
+            opts,
+            cmd,
+            timed(rec, "ablate-fec", || ablate::fec_arq(opts.seed)).to_string(),
+        )?,
         "ablate-l2" => emit(
             opts,
             cmd,
-            ablate::l2_topology(opts.seed, opts.scale).to_string(),
+            timed(rec, "ablate-l2", || {
+                ablate::l2_topology(opts.seed, opts.scale)
+            })
+            .to_string(),
         )?,
         "ablate-mode" => emit(
             opts,
             cmd,
-            ablate::mode_delay(opts.seed, opts.scale).to_string(),
+            timed(rec, "ablate-mode", || {
+                ablate::mode_delay(opts.seed, opts.scale)
+            })
+            .to_string(),
         )?,
         "ablate-measurement" => {
             emit(
                 opts,
                 cmd,
-                ablate::geo_vs_measurement(opts.seed, opts.scale).to_string(),
+                timed(rec, "ablate-measurement", || {
+                    ablate::geo_vs_measurement(opts.seed, opts.scale, par)
+                })
+                .to_string(),
             )?;
         }
         "ablate-auto-override" => {
             emit(
                 opts,
                 cmd,
-                ablate::auto_override(opts.seed, opts.scale, 30.0).to_string(),
+                timed(rec, "ablate-auto-override", || {
+                    ablate::auto_override(opts.seed, opts.scale, 30.0, par)
+                })
+                .to_string(),
             )?;
         }
         "economics" => emit(
             opts,
             cmd,
-            ablate::economics(opts.seed, opts.scale).to_string(),
+            timed(rec, "economics", || {
+                ablate::economics(opts.seed, opts.scale)
+            })
+            .to_string(),
         )?,
         "setup-time" => emit(
             opts,
             cmd,
-            ablate::setup_time(opts.seed, opts.scale).to_string(),
+            timed(rec, "setup-time", || {
+                ablate::setup_time(opts.seed, opts.scale)
+            })
+            .to_string(),
         )?,
         "all" => {
             // Share worlds/campaigns where possible to keep `all` fast.
             let before = World::hot(opts.seed, opts.scale);
-            let mut w = World::geo(opts.seed, opts.scale);
-            println!("{}", fig3::run(&mut w));
-            println!("{}", congruence::run(&mut w));
-            println!("{}", fig4::run(&before, &w));
-            println!("{}", fig5::run(&before, &w));
-            println!("{}", fig6::run(&mut w, 3));
-            println!("{}", fig7::run(&w));
-            let nine = fig9::run(&mut w, opts.sessions);
-            println!("{nine}");
-            println!("{}", fig10::run(&nine.sessions));
-            let data = fig11::run_campaign(
-                &mut w,
-                opts.hosts_per_cell,
-                Dur::from_mins(30),
-                campaign_span(opts),
+            let w = World::geo(opts.seed, opts.scale);
+            println!("{}", timed(rec, "fig3", || fig3::run(&w, par)));
+            println!(
+                "{}",
+                timed(rec, "as-congruence", || congruence::run(&w, par))
             );
+            println!("{}", timed(rec, "fig4", || fig4::run(&before, &w)));
+            println!("{}", timed(rec, "fig5", || fig5::run(&before, &w)));
+            println!("{}", timed(rec, "fig6", || fig6::run(&w, 3, par)));
+            println!("{}", timed(rec, "fig7", || fig7::run(&w, par)));
+            let nine = timed(rec, "fig9", || fig9::run(&w, opts.sessions, par));
+            println!("{nine}");
+            println!("{}", timed(rec, "fig10", || fig10::run(&nine.sessions)));
+            let data = timed(rec, "fig11", || {
+                fig11::run_campaign(
+                    &w,
+                    opts.hosts_per_cell,
+                    Dur::from_mins(30),
+                    campaign_span(opts),
+                    par,
+                )
+            });
             emit(opts, cmd, fig11::run(&data).to_string())?;
-            emit(opts, cmd, fig12::run(&data).to_string())?;
-            emit(opts, cmd, table1::run(&data).to_string())?;
-            println!("{}", jitter::run(&mut w, opts.sessions.min(20)));
-            println!("{}", ablate::lp_shape(opts.seed, opts.scale));
-            println!("{}", ablate::best_external(opts.seed, opts.scale));
-            println!("{}", ablate::geoip(opts.seed, opts.scale));
-            println!("{}", ablate::fec_arq(opts.seed));
-            println!("{}", ablate::l2_topology(opts.seed, opts.scale));
-            println!("{}", ablate::mode_delay(opts.seed, opts.scale));
-            println!("{}", ablate::geo_vs_measurement(opts.seed, opts.scale));
-            println!("{}", ablate::auto_override(opts.seed, opts.scale, 30.0));
-            println!("{}", ablate::economics(opts.seed, opts.scale));
-            println!("{}", ablate::setup_time(opts.seed, opts.scale));
+            emit(
+                opts,
+                cmd,
+                timed(rec, "fig12", || fig12::run(&data)).to_string(),
+            )?;
+            emit(
+                opts,
+                cmd,
+                timed(rec, "table1", || table1::run(&data)).to_string(),
+            )?;
+            println!(
+                "{}",
+                timed(rec, "jitter", || jitter::run(
+                    &w,
+                    opts.sessions.min(20),
+                    par
+                ))
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-lp", || ablate::lp_shape(opts.seed, opts.scale))
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-best-external", || {
+                    ablate::best_external(opts.seed, opts.scale)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-geoip", || ablate::geoip(opts.seed, opts.scale))
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-fec", || ablate::fec_arq(opts.seed))
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-l2", || {
+                    ablate::l2_topology(opts.seed, opts.scale)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-mode", || {
+                    ablate::mode_delay(opts.seed, opts.scale)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-measurement", || {
+                    ablate::geo_vs_measurement(opts.seed, opts.scale, par)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-auto-override", || {
+                    ablate::auto_override(opts.seed, opts.scale, 30.0, par)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "economics", || ablate::economics(
+                    opts.seed, opts.scale
+                ))
+            );
+            println!(
+                "{}",
+                timed(rec, "setup-time", || {
+                    ablate::setup_time(opts.seed, opts.scale)
+                })
+            );
         }
         other => return Err(format!("unknown experiment {other}\n{USAGE}")),
     }
@@ -280,12 +480,24 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
-        Ok(opts) => match run_one(&opts, &opts.cmd.clone()) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("{msg}");
-                ExitCode::FAILURE
+        Ok(opts) => {
+            let par = Par::new(opts.threads);
+            let mut records = Vec::new();
+            let t0 = Instant::now();
+            match run_one(&opts, &opts.cmd.clone(), par, &mut records) {
+                Ok(()) => {
+                    let total = t0.elapsed().as_secs_f64();
+                    if let Err(msg) = write_campaigns(&opts, par, &records, total) {
+                        eprintln!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
     }
 }

@@ -1,11 +1,18 @@
 //! Shared measurement campaigns (probing matrices, media sessions, loss
 //! trains) reused across experiments.
+//!
+//! Every campaign here decomposes into independent work units — a probed
+//! prefix, a (client, echo, via) media arm, a (vantage, host) train series
+//! — whose randomness is derived from `(master seed, unit label)`, never
+//! from shared walking state. The campaigns fan units out over
+//! [`Par`]/[`vns_netsim::par_map`] and merge in canonical unit order, so
+//! their artefacts are byte-identical at any thread count.
 
 use vns_bgp::{Asn, Prefix};
 use vns_core::PopId;
 use vns_geo::{GeoPoint, Region};
 use vns_media::{run_echo_session, SessionConfig, SessionReport, VideoSpec};
-use vns_netsim::{Dur, PathChannel, SimTime};
+use vns_netsim::{Dur, Par, PathChannel, SimTime};
 use vns_probe::{loss_train, rtt_probe_std, LossTrain};
 use vns_topo::{AsType, ResolvedPath};
 
@@ -77,11 +84,7 @@ pub fn prefix_metas(world: &World) -> Vec<PrefixMeta> {
 }
 
 /// Builds a forward/return channel pair for a resolved path.
-pub fn channel_pair(
-    world: &mut World,
-    path: &ResolvedPath,
-    label: &str,
-) -> (PathChannel, PathChannel) {
+pub fn channel_pair(world: &World, path: &ResolvedPath, label: &str) -> (PathChannel, PathChannel) {
     let fwd = world.factory.channel(path, &format!("{label}:fwd"));
     let rev = world
         .factory
@@ -91,7 +94,7 @@ pub fn channel_pair(
 
 /// Minimum RTT (5-ping probe) from a PoP to `ip`, exiting immediately via
 /// the PoP's primary upstream. `None` when unroutable or all probes lost.
-pub fn rtt_via_upstream(world: &mut World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
+pub fn rtt_via_upstream(world: &World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
     let path = world.vns.path_via_upstream(&world.internet, pop, ip).ok()?;
     let (mut fwd, mut rev) = channel_pair(world, &path, &format!("rttu:{}:{}", pop.0, ip));
     rtt_probe_std(&mut fwd, &mut rev, t).min_rtt_ms
@@ -100,7 +103,7 @@ pub fn rtt_via_upstream(world: &mut World, pop: PopId, ip: u32, t: SimTime) -> O
 /// Minimum RTT (5-ping probe) from a PoP to `ip`, exiting immediately via
 /// the PoP's best local external route (the Sec 4.1/5.2 "forced out of VNS
 /// immediately at each PoP" semantics).
-pub fn rtt_via_local_exit(world: &mut World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
+pub fn rtt_via_local_exit(world: &World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
     let path = world
         .vns
         .path_via_local_exit(&world.internet, pop, ip)
@@ -110,7 +113,7 @@ pub fn rtt_via_local_exit(world: &mut World, pop: PopId, ip: u32, t: SimTime) ->
 }
 
 /// Minimum RTT (5-ping probe) from a PoP to `ip` through VNS routing.
-pub fn rtt_via_vns(world: &mut World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
+pub fn rtt_via_vns(world: &World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
     let path = world.vns.path_via_vns(&world.internet, pop, ip).ok()?;
     let (mut fwd, mut rev) = channel_pair(world, &path, &format!("rttv:{}:{}", pop.0, ip));
     rtt_probe_std(&mut fwd, &mut rev, t).min_rtt_ms
@@ -118,21 +121,23 @@ pub fn rtt_via_vns(world: &mut World, pop: PopId, ip: u32, t: SimTime) -> Option
 
 /// RTT matrix `[prefix][pop]` via each PoP's upstream (the Sec 4.1
 /// methodology: probes forced out of VNS immediately at each PoP).
+///
+/// One work unit per probed prefix (a matrix row); every probe's channel
+/// state is derived from its `rttl:{pop}:{ip}` label, so rows computed on
+/// any thread at any time are identical to the sequential walk.
 pub fn rtt_matrix(
-    world: &mut World,
+    world: &World,
     metas: &[PrefixMeta],
     pops: &[PopId],
     t: SimTime,
+    par: Par,
 ) -> Vec<Vec<Option<f64>>> {
     assert_control_plane(world);
-    metas
-        .iter()
-        .map(|m| {
-            pops.iter()
-                .map(|&p| rtt_via_local_exit(world, p, m.ip, t))
-                .collect()
-        })
-        .collect()
+    par.map(metas, |_, m| {
+        pops.iter()
+            .map(|&p| rtt_via_local_exit(world, p, m.ip, t))
+            .collect()
+    })
 }
 
 /// One media measurement arm: a client PoP streaming to an echo server,
@@ -164,12 +169,20 @@ impl MediaArm {
 /// Runs a media campaign: every (client, echo, via) arm runs
 /// `sessions_per_arm` two-minute sessions, one every 30 minutes (the
 /// paper's cadence), starting at `start`.
+///
+/// One work unit per (client, echo, via) arm. Each arm's recording
+/// schedule draws from its own RNG stream keyed by the arm label — a pure
+/// function of `(master seed, arm)`, not of which arms ran before it — and
+/// the sessions within an arm stay sequential so the shared forward/return
+/// channel walks its loss-process state exactly as a real back-to-back
+/// campaign would.
 pub fn media_campaign(
-    world: &mut World,
+    world: &World,
     clients: &[PopId],
     spec: VideoSpec,
     sessions_per_arm: usize,
     start: SimTime,
+    par: Par,
 ) -> Vec<(MediaArm, SessionReport)> {
     assert_control_plane(world);
     let cfg = SessionConfig::default();
@@ -182,10 +195,7 @@ pub fn media_campaign(
             (e.pop, region, e.address())
         })
         .collect();
-    let mut out = Vec::new();
-    let mut rng = vns_netsim::RngTree::new(world.config.seed)
-        .subtree("media-campaign")
-        .stream(spec.name);
+    let mut arms: Vec<(MediaArm, u32)> = Vec::new();
     for &client in clients {
         for &(echo_pop, region, addr) in &echo {
             for via_vns in [true, false] {
@@ -195,27 +205,41 @@ pub fn media_campaign(
                     region,
                     via_vns,
                 };
-                let path = if via_vns {
-                    world.vns.path_via_vns(&world.internet, client, addr)
-                } else {
-                    world.vns.path_via_upstream(&world.internet, client, addr)
-                };
-                let Ok(path) = path else { continue };
-                let label = format!(
-                    "media:{}:{}:{}:{}",
-                    spec.name, client.0, echo_pop.0, via_vns
-                );
-                let (mut fwd, mut rev) = channel_pair(world, &path, &label);
-                for s in 0..sessions_per_arm {
-                    let t0 = start + Dur::from_mins(30).mul(s as u64);
-                    let sched = spec.schedule(t0, cfg.duration, &mut rng);
-                    let report = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
-                    out.push((arm, report));
-                }
+                arms.push((arm, addr));
             }
         }
     }
-    out
+    let tree = vns_netsim::RngTree::new(world.config.seed)
+        .subtree("media-campaign")
+        .subtree(spec.name);
+    let per_arm: Vec<Vec<(MediaArm, SessionReport)>> = par.map(&arms, |_, &(arm, addr)| {
+        let path = if arm.via_vns {
+            world.vns.path_via_vns(&world.internet, arm.client, addr)
+        } else {
+            world
+                .vns
+                .path_via_upstream(&world.internet, arm.client, addr)
+        };
+        let Ok(path) = path else { return Vec::new() };
+        let label = format!(
+            "media:{}:{}:{}:{}",
+            spec.name, arm.client.0, arm.echo_pop.0, arm.via_vns
+        );
+        let mut rng = tree.stream(&format!(
+            "arm:{}:{}:{}",
+            arm.client.0, arm.echo_pop.0, arm.via_vns
+        ));
+        let (mut fwd, mut rev) = channel_pair(world, &path, &label);
+        let mut out = Vec::with_capacity(sessions_per_arm);
+        for s in 0..sessions_per_arm {
+            let t0 = start + Dur::from_mins(30).mul(s as u64);
+            let sched = spec.schedule(t0, cfg.duration, &mut rng);
+            let report = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
+            out.push((arm, report));
+        }
+        out
+    });
+    per_arm.into_iter().flatten().collect()
 }
 
 /// A probed last-mile host.
@@ -283,32 +307,42 @@ pub struct TrainRecord {
 
 /// Runs the Sec 5.2 campaign: every host probed from every PoP with a
 /// 100-packet back-to-back train every `interval` for `span`.
+///
+/// One work unit per (vantage PoP, host) pair; the train rounds within a
+/// pair stay sequential because they share the pair's channel (its
+/// loss-process state is the unit's own walk, seeded from the
+/// `lm:{pop}:{ip}` label).
 pub fn lastmile_campaign(
-    world: &mut World,
+    world: &World,
     pops: &[PopId],
     hosts: &[HostMeta],
     interval: Dur,
     span: Dur,
+    par: Par,
 ) -> Vec<TrainRecord> {
     assert_control_plane(world);
     let rounds = vns_probe::rounds(SimTime::EPOCH, interval, span);
-    let mut out = Vec::with_capacity(pops.len() * hosts.len() * rounds.len());
+    let mut units: Vec<(PopId, usize)> = Vec::with_capacity(pops.len() * hosts.len());
     for &pop in pops {
-        for (hi, host) in hosts.iter().enumerate() {
-            let Ok(path) = world.vns.path_via_local_exit(&world.internet, pop, host.ip) else {
-                continue;
-            };
-            let label = format!("lm:{}:{}", pop.0, host.ip);
-            let (mut fwd, mut rev) = channel_pair(world, &path, &label);
-            for &at in &rounds {
-                let train = loss_train(&mut fwd, &mut rev, at, 100);
-                out.push(TrainRecord {
-                    pop,
-                    host: hi,
-                    train,
-                });
-            }
+        for hi in 0..hosts.len() {
+            units.push((pop, hi));
         }
     }
-    out
+    let per_unit: Vec<Vec<TrainRecord>> = par.map(&units, |_, &(pop, hi)| {
+        let host = &hosts[hi];
+        let Ok(path) = world.vns.path_via_local_exit(&world.internet, pop, host.ip) else {
+            return Vec::new();
+        };
+        let label = format!("lm:{}:{}", pop.0, host.ip);
+        let (mut fwd, mut rev) = channel_pair(world, &path, &label);
+        rounds
+            .iter()
+            .map(|&at| TrainRecord {
+                pop,
+                host: hi,
+                train: loss_train(&mut fwd, &mut rev, at, 100),
+            })
+            .collect()
+    });
+    per_unit.into_iter().flatten().collect()
 }

@@ -418,15 +418,15 @@ pub fn mode_delay(seed: u64, scale: f64) -> Ablation {
 /// (fraction of prefixes whose selected egress is delay-best within
 /// 10 ms) against the control-plane overhead (probe packets per routing
 /// decision — the geo metric needs none).
-pub fn geo_vs_measurement(seed: u64, scale: f64) -> Ablation {
+pub fn geo_vs_measurement(seed: u64, scale: f64, par: vns_netsim::Par) -> Ablation {
     use crate::campaign::{prefix_metas, rtt_matrix};
     use vns_netsim::{Dur, SimTime};
 
-    let mut world = World::geo(seed, scale);
+    let world = World::geo(seed, scale);
     let metas = prefix_metas(&world);
     let pops: Vec<PopId> = world.vns.pops().iter().map(|p| p.id()).collect();
     let t = SimTime::EPOCH + Dur::from_hours(10);
-    let matrix = rtt_matrix(&mut world, &metas, &pops, t);
+    let matrix = rtt_matrix(&world, &metas, &pops, t, par);
 
     let mut geo_good = 0usize;
     let mut meas_good = 0usize;
@@ -502,7 +502,7 @@ pub fn geo_vs_measurement(seed: u64, scale: f64) -> Ablation {
 /// measurements" and fixed through the management interface. Probes every
 /// prefix once, force-exits the ones whose geo egress is ≥ `threshold_ms`
 /// worse than the best PoP, and reports precision before/after.
-pub fn auto_override(seed: u64, scale: f64, threshold_ms: f64) -> Ablation {
+pub fn auto_override(seed: u64, scale: f64, threshold_ms: f64, par: vns_netsim::Par) -> Ablation {
     use crate::campaign::{prefix_metas, rtt_matrix};
     use vns_netsim::{Dur, SimTime};
 
@@ -510,7 +510,7 @@ pub fn auto_override(seed: u64, scale: f64, threshold_ms: f64) -> Ablation {
     let metas = prefix_metas(&world);
     let pops: Vec<PopId> = world.vns.pops().iter().map(|p| p.id()).collect();
     let t = SimTime::EPOCH + Dur::from_hours(10);
-    let matrix = rtt_matrix(&mut world, &metas, &pops, t);
+    let matrix = rtt_matrix(&world, &metas, &pops, t, par);
 
     let displaced = |world: &World, mi: usize, m: &crate::campaign::PrefixMeta| -> Option<f64> {
         let egress = world.vns.egress_pop(&world.internet, PopId(10), m.ip)?;
@@ -612,7 +612,7 @@ pub fn setup_time(seed: u64, scale: f64) -> Ablation {
     use vns_media::setup_call;
     use vns_netsim::{Dur, SimTime};
 
-    let mut world = World::geo(seed, scale);
+    let world = World::geo(seed, scale);
     let clients = [PopId(9), PopId(1), PopId(11)];
     let mut table = Table::new([
         "path",

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use vns_bgp::Asn;
 use vns_core::PopId;
-use vns_netsim::{Dur, SimTime};
+use vns_netsim::{Dur, Par, SimTime};
 
 use crate::campaign::{prefix_metas, rtt_matrix};
 use crate::world::World;
@@ -26,12 +26,12 @@ pub struct Congruence {
     pub frac_ases_ninety_match: f64,
 }
 
-/// Runs the analysis.
-pub fn run(world: &mut World) -> Congruence {
+/// Runs the analysis; probe rows fan out over `par`.
+pub fn run(world: &World, par: Par) -> Congruence {
     let metas = prefix_metas(world);
     let pops: Vec<PopId> = world.vns.pops().iter().map(|p| p.id()).collect();
     let t = SimTime::EPOCH + Dur::from_hours(10);
-    let matrix = rtt_matrix(world, &metas, &pops, t);
+    let matrix = rtt_matrix(world, &metas, &pops, t, par);
 
     // Closest PoP (by measured RTT) per prefix, grouped by AS.
     let mut by_as: BTreeMap<Asn, Vec<usize>> = BTreeMap::new();

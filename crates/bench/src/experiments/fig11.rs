@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use vns_core::PopId;
 use vns_geo::Region;
-use vns_netsim::Dur;
+use vns_netsim::{Dur, Par};
 use vns_stats::Table;
 
 use crate::campaign::{lastmile_campaign, select_hosts, HostMeta, TrainRecord};
@@ -42,11 +42,17 @@ pub struct LastMileData {
 }
 
 /// Runs the shared campaign: `per_cell` hosts per (type, region), trains
-/// every `interval` over `span`.
-pub fn run_campaign(world: &mut World, per_cell: usize, interval: Dur, span: Dur) -> LastMileData {
+/// every `interval` over `span`; (vantage, host) units fan out over `par`.
+pub fn run_campaign(
+    world: &World,
+    per_cell: usize,
+    interval: Dur,
+    span: Dur,
+    par: Par,
+) -> LastMileData {
     let hosts = select_hosts(world, per_cell);
     let pops: Vec<PopId> = VANTAGES.iter().map(|(_, id)| PopId(*id)).collect();
-    let records = lastmile_campaign(world, &pops, &hosts, interval, span);
+    let records = lastmile_campaign(world, &pops, &hosts, interval, span, par);
     LastMileData { hosts, records }
 }
 

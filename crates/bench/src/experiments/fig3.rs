@@ -13,7 +13,7 @@
 
 use vns_core::PopId;
 use vns_geo::Region;
-use vns_netsim::{Dur, SimTime};
+use vns_netsim::{Dur, Par, SimTime};
 use vns_stats::{Cdf, Figure, Series};
 
 use crate::campaign::{prefix_metas, rtt_matrix};
@@ -36,12 +36,12 @@ pub struct Fig3 {
     pub points: Vec<(f64, f64)>,
 }
 
-/// Runs the experiment.
-pub fn run(world: &mut World) -> Fig3 {
+/// Runs the experiment; probe rows fan out over `par`.
+pub fn run(world: &World, par: Par) -> Fig3 {
     let metas = prefix_metas(world);
     let pops: Vec<PopId> = world.vns.pops().iter().map(|p| p.id()).collect();
     let t = SimTime::EPOCH + Dur::from_hours(10);
-    let matrix = rtt_matrix(world, &metas, &pops, t);
+    let matrix = rtt_matrix(world, &metas, &pops, t, par);
 
     // Geo choice per prefix: nearest PoP by *reported* location.
     let mut diffs_all = Vec::new();

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 
 use vns_core::PopId;
-use vns_netsim::{Dur, SimTime};
+use vns_netsim::{Dur, Par, SimTime};
 use vns_stats::{Cdf, Figure, Series};
 
 use crate::campaign::{prefix_metas, rtt_via_upstream, rtt_via_vns};
@@ -36,8 +36,9 @@ pub const VANTAGES: [(&str, u8); 6] = [
 ];
 
 /// Runs the experiment: `rounds` probe rounds spread across a day are
-/// averaged per destination.
-pub fn run(world: &mut World, rounds: usize) -> Fig6 {
+/// averaged per destination. Per-target probes fan out over `par` within
+/// each vantage.
+pub fn run(world: &World, rounds: usize, par: Par) -> Fig6 {
     let metas = prefix_metas(world);
     // One address per origin AS.
     let mut seen = BTreeSet::new();
@@ -56,23 +57,25 @@ pub fn run(world: &mut World, rounds: usize) -> Fig6 {
     let mut per_pop = Vec::new();
     for (code, id) in VANTAGES {
         let pop = PopId(id);
-        let mut diffs = Vec::new();
-        for &ip in &targets {
-            let mut v_acc = (0.0, 0u32);
-            let mut u_acc = (0.0, 0u32);
-            for r in 0..rounds.max(1) {
-                let t = SimTime::EPOCH + Dur::from_hours((3 + r * 7) as u64 % 24);
-                if let Some(v) = rtt_via_vns(world, pop, ip, t) {
-                    v_acc = (v_acc.0 + v, v_acc.1 + 1);
+        let diffs: Vec<f64> = par
+            .map(&targets, |_, &ip| {
+                let mut v_acc = (0.0, 0u32);
+                let mut u_acc = (0.0, 0u32);
+                for r in 0..rounds.max(1) {
+                    let t = SimTime::EPOCH + Dur::from_hours((3 + r * 7) as u64 % 24);
+                    if let Some(v) = rtt_via_vns(world, pop, ip, t) {
+                        v_acc = (v_acc.0 + v, v_acc.1 + 1);
+                    }
+                    if let Some(u) = rtt_via_upstream(world, pop, ip, t) {
+                        u_acc = (u_acc.0 + u, u_acc.1 + 1);
+                    }
                 }
-                if let Some(u) = rtt_via_upstream(world, pop, ip, t) {
-                    u_acc = (u_acc.0 + u, u_acc.1 + 1);
-                }
-            }
-            if v_acc.1 > 0 && u_acc.1 > 0 {
-                diffs.push(v_acc.0 / v_acc.1 as f64 - u_acc.0 / u_acc.1 as f64);
-            }
-        }
+                (v_acc.1 > 0 && u_acc.1 > 0)
+                    .then(|| v_acc.0 / f64::from(v_acc.1) - u_acc.0 / f64::from(u_acc.1))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         let cdf = Cdf::new(diffs);
         let le0 = cdf.at(0.0);
         let le50 = cdf.at(50.0);

@@ -6,6 +6,7 @@
 //! extent."
 
 use vns_geo::{PopRegion, Region};
+use vns_netsim::Par;
 use vns_stats::Table;
 
 use crate::campaign::prefix_metas;
@@ -24,15 +25,12 @@ pub struct Fig7 {
 }
 
 /// Runs the experiment: one request per external prefix (a scaled stand-in
-/// for the paper's 60k auth requests).
-pub fn run(world: &World) -> Fig7 {
+/// for the paper's 60k auth requests). Per-prefix resolutions fan out over
+/// `par`; the landing matrix is reduced in prefix order.
+pub fn run(world: &World, par: Par) -> Fig7 {
     let metas = prefix_metas(world);
-    let mut matrix = vec![vec![0usize; PopRegion::ALL.len()]; Region::ALL.len()];
-    let mut requests = vec![0usize; Region::ALL.len()];
-    for m in &metas {
-        let Ok((pop, _)) = world.vns.anycast_landing(&world.internet, m.ip) else {
-            continue;
-        };
+    let landings: Vec<Option<(usize, usize)>> = par.map(&metas, |_, m| {
+        let (pop, _) = world.vns.anycast_landing(&world.internet, m.ip).ok()?;
         let src = Region::ALL
             .iter()
             .position(|r| *r == m.region)
@@ -41,6 +39,11 @@ pub fn run(world: &World) -> Fig7 {
             .iter()
             .position(|r| *r == world.vns.pop(pop).spec.region)
             .expect("pop region");
+        Some((src, dst))
+    });
+    let mut matrix = vec![vec![0usize; PopRegion::ALL.len()]; Region::ALL.len()];
+    let mut requests = vec![0usize; Region::ALL.len()];
+    for (src, dst) in landings.into_iter().flatten() {
         matrix[src][dst] += 1;
         requests[src] += 1;
     }

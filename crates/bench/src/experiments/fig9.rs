@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use vns_core::PopId;
 use vns_geo::Region;
 use vns_media::{SessionReport, VideoSpec};
-use vns_netsim::{Dur, SimTime};
+use vns_netsim::{Dur, Par, SimTime};
 use vns_stats::{Ccdf, Figure, Series};
 
 use crate::campaign::{media_campaign, MediaArm};
@@ -35,11 +35,18 @@ pub struct Fig9 {
 }
 
 /// Runs the campaign with `sessions_per_arm` two-minute 1080p sessions per
-/// (client, echo, via) arm.
-pub fn run(world: &mut World, sessions_per_arm: usize) -> Fig9 {
+/// (client, echo, via) arm; arms fan out over `par`.
+pub fn run(world: &World, sessions_per_arm: usize, par: Par) -> Fig9 {
     let clients: Vec<PopId> = CLIENTS.iter().map(|(_, id)| PopId(*id)).collect();
     let start = SimTime::EPOCH + Dur::from_hours(6);
-    let sessions = media_campaign(world, &clients, VideoSpec::HD1080, sessions_per_arm, start);
+    let sessions = media_campaign(
+        world,
+        &clients,
+        VideoSpec::HD1080,
+        sessions_per_arm,
+        start,
+        par,
+    );
 
     let mut figures = Vec::new();
     let mut over_150m = BTreeMap::new();

@@ -8,7 +8,7 @@
 
 use vns_core::PopId;
 use vns_media::VideoSpec;
-use vns_netsim::{Dur, SimTime};
+use vns_netsim::{Dur, Par, SimTime};
 
 use crate::campaign::media_campaign;
 use crate::world::World;
@@ -47,13 +47,13 @@ fn reduce(reports: Vec<f64>) -> JitterStats {
     }
 }
 
-/// Runs jitter measurement for both definitions.
-pub fn run(world: &mut World, sessions_per_arm: usize) -> Jitter {
+/// Runs jitter measurement for both definitions; arms fan out over `par`.
+pub fn run(world: &World, sessions_per_arm: usize, par: Par) -> Jitter {
     let clients = [PopId(9), PopId(1), PopId(11)];
     let start = SimTime::EPOCH + Dur::from_hours(8);
     let mut per_def = Vec::new();
     for spec in [VideoSpec::HD1080, VideoSpec::HD720] {
-        let sessions = media_campaign(world, &clients, spec, sessions_per_arm, start);
+        let sessions = media_campaign(world, &clients, spec, sessions_per_arm, start, par);
         let grab = |via: bool| {
             reduce(
                 sessions

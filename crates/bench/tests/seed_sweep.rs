@@ -1,0 +1,32 @@
+//! Seed-sweep smoke test: the simulator must not be tuned to the default
+//! seed. Three seeds × both routing modes must build, converge, and come
+//! out of `vns-verify` without error-severity findings.
+
+use vns_bench::World;
+
+const SEEDS: [u64; 3] = [21, 77, 1234];
+
+fn sweep(mode: &str, build: impl Fn(u64) -> World) {
+    for seed in SEEDS {
+        let w = build(seed);
+        assert!(
+            !w.vns.pops().is_empty(),
+            "{mode} seed {seed}: no PoPs built"
+        );
+        let report = vns_verify::verify(&w.internet, &w.vns);
+        assert!(
+            report.passes(),
+            "{mode} seed {seed}: control plane not clean:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn geo_mode_converges_clean_across_seeds() {
+    sweep("geo", |seed| World::geo(seed, 0.35));
+}
+
+#[test]
+fn hot_mode_converges_clean_across_seeds() {
+    sweep("hot", |seed| World::hot(seed, 0.35));
+}

@@ -88,7 +88,10 @@ pub struct PeerConfig {
 /// route reflector's hook rewrites `attrs.local_pref` as a function of the
 /// distance between `attrs.next_hop` (the egress border router) and the
 /// prefix's GeoIP location.
-pub trait ImportHook: std::fmt::Debug {
+///
+/// `Send + Sync` so a converged network (and the hooks installed on its
+/// speakers) can be shared read-only across campaign worker threads.
+pub trait ImportHook: std::fmt::Debug + Send + Sync {
     /// Inspect/rewrite an accepted route. `from` is the sending peer.
     fn on_import(
         &self,

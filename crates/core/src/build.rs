@@ -6,9 +6,8 @@
 //! anycast relay address and the echo servers) — and finally BGP
 //! convergence.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use rand::Rng;
 
@@ -150,7 +149,7 @@ pub fn build_vns(internet: &mut Internet, config: &VnsConfig) -> Result<Vns, Con
     );
 
     // --- Geo hook -------------------------------------------------------------
-    let overrides = Rc::new(RefCell::new(Overrides::default()));
+    let overrides = Arc::new(RwLock::new(Overrides::default()));
     let mut router_pop_map: BTreeMap<SpeakerId, PopId> = BTreeMap::new();
     let mut router_loc: BTreeMap<SpeakerId, GeoPoint> = BTreeMap::new();
     for pop in &pops {
@@ -161,17 +160,17 @@ pub fn build_vns(internet: &mut Internet, config: &VnsConfig) -> Result<Vns, Con
     }
     router_loc.insert(rr0, city(ams).location);
     router_loc.insert(rr1, city(ash).location);
-    let router_pop = Rc::new(router_pop_map);
+    let router_pop = Arc::new(router_pop_map);
     if config.mode == RoutingMode::GeoColdPotato {
-        let geoip = Rc::new(internet.geoip.clone());
-        let locations = Rc::new(router_loc);
+        let geoip = Arc::new(internet.geoip.clone());
+        let locations = Arc::new(router_loc);
         for rr in [rr0, rr1] {
             let hook = GeoHook::new(
-                Rc::clone(&geoip),
-                Rc::clone(&locations),
-                Rc::clone(&router_pop),
+                Arc::clone(&geoip),
+                Arc::clone(&locations),
+                Arc::clone(&router_pop),
                 config.lp_fn,
-                Rc::clone(&overrides),
+                Arc::clone(&overrides),
             );
             internet
                 .net

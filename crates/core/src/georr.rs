@@ -17,9 +17,8 @@
 //! management overrides (Sec 3.2, "Overriding Geo-routing") are consulted
 //! first.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use vns_bgp::{ImportHook, Prefix, RouteAttrs, RouteSource, SpeakerId, DEFAULT_LOCAL_PREF};
 use vns_geo::{GeoIpDb, GeoPoint};
@@ -38,25 +37,25 @@ pub const FORCED_OTHER_PREF: u32 = 150;
 #[derive(Debug, Clone)]
 pub struct GeoHook {
     /// GeoIP view shared with the rest of the deployment.
-    geoip: Rc<GeoIpDb<Prefix>>,
+    geoip: Arc<GeoIpDb<Prefix>>,
     /// Location of every VNS router.
-    router_locations: Rc<BTreeMap<SpeakerId, GeoPoint>>,
+    router_locations: Arc<BTreeMap<SpeakerId, GeoPoint>>,
     /// PoP of every VNS router (for forced exits).
-    router_pops: Rc<BTreeMap<SpeakerId, PopId>>,
+    router_pops: Arc<BTreeMap<SpeakerId, PopId>>,
     /// The `f(d)` shape.
     lp_fn: LocalPrefFn,
     /// Live management overrides.
-    overrides: Rc<RefCell<Overrides>>,
+    overrides: Arc<RwLock<Overrides>>,
 }
 
 impl GeoHook {
     /// Builds a hook over shared deployment state.
     pub fn new(
-        geoip: Rc<GeoIpDb<Prefix>>,
-        router_locations: Rc<BTreeMap<SpeakerId, GeoPoint>>,
-        router_pops: Rc<BTreeMap<SpeakerId, PopId>>,
+        geoip: Arc<GeoIpDb<Prefix>>,
+        router_locations: Arc<BTreeMap<SpeakerId, GeoPoint>>,
+        router_pops: Arc<BTreeMap<SpeakerId, PopId>>,
         lp_fn: LocalPrefFn,
-        overrides: Rc<RefCell<Overrides>>,
+        overrides: Arc<RwLock<Overrides>>,
     ) -> Self {
         Self {
             geoip,
@@ -84,7 +83,7 @@ impl GeoHook {
     /// what makes the hook idempotent and lets `vns-verify` recompute the
     /// expected preference for every reflector Adj-RIB-In entry.
     pub fn assigned_pref(&self, egress: SpeakerId, prefix: Prefix) -> Option<u32> {
-        let overrides = self.overrides.borrow();
+        let overrides = self.overrides.read().expect("overrides lock poisoned");
         if overrides.is_exempt(&prefix) {
             // Exempted from geo-routing: fall back to default preference,
             // i.e. plain BGP behaviour (Sec 3.2: "exempting a prefix
@@ -164,11 +163,11 @@ mod tests {
         pops.insert(SpeakerId(1), PopId(9));
         pops.insert(SpeakerId(2), PopId(7));
         let hook = GeoHook::new(
-            Rc::new(geoip),
-            Rc::new(locations),
-            Rc::new(pops),
+            Arc::new(geoip),
+            Arc::new(locations),
+            Arc::new(pops),
             LocalPrefFn::default(),
-            Rc::new(RefCell::new(Overrides::default())),
+            Arc::new(RwLock::new(Overrides::default())),
         );
         (hook, prefix)
     }
@@ -238,7 +237,7 @@ mod tests {
     #[test]
     fn exempt_prefix_reverts_to_default() {
         let (hook, prefix) = setup();
-        hook.overrides.borrow_mut().exempt(prefix);
+        hook.overrides.write().unwrap().exempt(prefix);
         let mut a = attrs(1);
         a.local_pref = 999;
         hook.on_import(SpeakerId(1), prefix, &ibgp(1), &mut a);
@@ -249,7 +248,7 @@ mod tests {
     fn forced_exit_dominates_geography() {
         let (hook, prefix) = setup();
         // Force the Paris prefix out of Singapore (PoP 7).
-        hook.overrides.borrow_mut().force_exit(prefix, PopId(7));
+        hook.overrides.write().unwrap().force_exit(prefix, PopId(7));
         let mut ams = attrs(1);
         hook.on_import(SpeakerId(1), prefix, &ibgp(1), &mut ams);
         let mut sin = attrs(2);

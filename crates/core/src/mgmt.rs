@@ -98,7 +98,10 @@ impl Vns {
         prefix: Prefix,
         pop: PopId,
     ) -> Result<(), ConvergenceError> {
-        self.overrides().borrow_mut().force_exit(prefix, pop);
+        self.overrides()
+            .write()
+            .expect("overrides lock poisoned")
+            .force_exit(prefix, pop);
         self.refresh_and_run(internet)
     }
 
@@ -108,7 +111,10 @@ impl Vns {
         internet: &mut Internet,
         prefix: Prefix,
     ) -> Result<(), ConvergenceError> {
-        self.overrides().borrow_mut().exempt(prefix);
+        self.overrides()
+            .write()
+            .expect("overrides lock poisoned")
+            .exempt(prefix);
         self.refresh_and_run(internet)
     }
 
@@ -118,7 +124,10 @@ impl Vns {
         internet: &mut Internet,
         prefix: Prefix,
     ) -> Result<(), ConvergenceError> {
-        self.overrides().borrow_mut().clear(&prefix);
+        self.overrides()
+            .write()
+            .expect("overrides lock poisoned")
+            .clear(&prefix);
         self.refresh_and_run(internet)
     }
 

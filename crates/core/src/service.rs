@@ -1,9 +1,8 @@
 //! The running VNS service: egress analysis, path resolution via VNS or
 //! via raw transit, and the anycast relay service.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use vns_bgp::{Asn, PathError, Prefix, RouteSource, SpeakerId};
 use vns_geo::{city, CityId, GeoPoint};
@@ -46,8 +45,8 @@ pub struct Vns {
     peers: Vec<AsId>,
     anycast_prefix: Prefix,
     echo_servers: Vec<EchoServer>,
-    overrides: Rc<RefCell<Overrides>>,
-    router_pop: Rc<BTreeMap<SpeakerId, PopId>>,
+    overrides: Arc<RwLock<Overrides>>,
+    router_pop: Arc<BTreeMap<SpeakerId, PopId>>,
     message_budget: u64,
 }
 
@@ -66,8 +65,8 @@ impl Vns {
         peers: Vec<AsId>,
         anycast_prefix: Prefix,
         echo_servers: Vec<EchoServer>,
-        overrides: Rc<RefCell<Overrides>>,
-        router_pop: Rc<BTreeMap<SpeakerId, PopId>>,
+        overrides: Arc<RwLock<Overrides>>,
+        router_pop: Arc<BTreeMap<SpeakerId, PopId>>,
         message_budget: u64,
     ) -> Self {
         Self {
@@ -168,7 +167,7 @@ impl Vns {
     }
 
     /// Live management override table (shared with the reflectors' hook).
-    pub fn overrides(&self) -> &Rc<RefCell<Overrides>> {
+    pub fn overrides(&self) -> &Arc<RwLock<Overrides>> {
         &self.overrides
     }
 

@@ -240,7 +240,7 @@ fn management_force_exit_and_exempt() {
     // Exempting falls back to default BGP (egress may or may not change,
     // but the override table must reflect it and reconvergence succeed).
     vns.mgmt_exempt(&mut internet, prefix).expect("reconverges");
-    assert!(vns.overrides().borrow().is_exempt(&prefix));
+    assert!(vns.overrides().read().unwrap().is_exempt(&prefix));
 }
 
 #[test]

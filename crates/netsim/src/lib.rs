@@ -13,6 +13,8 @@
 //!   residential, flat) that shape congestion loss;
 //! * [`LossModel`]/[`LossProcess`] — Bernoulli, Gilbert–Elliott bursty and
 //!   congestion-coupled loss processes;
+//! * [`Par`]/[`par_map`] — deterministic parallel map over independent
+//!   campaign work units (byte-identical output at any thread count);
 //! * [`DelaySampler`] — propagation + utilisation-dependent queueing delay;
 //! * [`HopChannel`]/[`PathChannel`] — a packet's eye view of a multi-hop
 //!   path, used by both the probing and media crates;
@@ -29,6 +31,7 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod loss;
+pub mod par;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -40,6 +43,7 @@ pub use engine::Engine;
 pub use event::EventQueue;
 pub use fault::{BlackoutSchedule, FaultGenerator};
 pub use loss::{LossModel, LossProcess};
+pub use par::{par_map, Par};
 pub use rng::RngTree;
 pub use time::{Dur, SimTime};
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,196 @@
+//! Deterministic parallel execution for measurement campaigns.
+//!
+//! The campaigns of Secs 4–5 decompose into independent work units (a
+//! probed prefix, a media-session arm, a (vantage, host) train series)
+//! whose randomness is derived from `(master seed, unit label)` via
+//! [`crate::RngTree`] rather than drawn from a shared walking RNG. That
+//! makes each unit a pure function of the seed — so units can run on any
+//! thread, in any order, and the campaign artefact is **byte-identical at
+//! any thread count** as long as results are merged in canonical unit
+//! order. [`par_map`] is that contract mechanised:
+//!
+//! * work units are claimed from an atomic cursor (no static sharding, so
+//!   uneven units cannot idle a thread);
+//! * each worker keeps `(index, result)` pairs privately — no shared
+//!   mutable state, no locks on the hot path;
+//! * results are merged by unit index after the scope joins, so the output
+//!   is exactly `items.iter().map(f)` regardless of scheduling;
+//! * a panicking unit panics `par_map` with the payload of the
+//!   *lowest-index* panicking unit — the same unit a sequential `map`
+//!   would have died on.
+
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Total work units processed by [`par_map`] in this process, across all
+/// campaigns. `vns-bench` samples it around each experiment to report unit
+/// throughput in `BENCH_campaigns.json`.
+static UNITS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+
+/// Work units processed by [`par_map`] so far in this process.
+pub fn units_processed() -> u64 {
+    UNITS_PROCESSED.load(Ordering::Relaxed)
+}
+
+/// Parallelism configuration for a campaign run.
+///
+/// A resolved, always-valid thread count. The count never influences
+/// results — only wall-clock — which is what the cross-thread
+/// reproducibility suite in `crates/bench/tests/repro.rs` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Par {
+    threads: NonZeroUsize,
+}
+
+impl Default for Par {
+    fn default() -> Self {
+        Par::auto()
+    }
+}
+
+impl Par {
+    /// One worker per available hardware thread.
+    pub fn auto() -> Par {
+        Par {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// Exactly `n` workers; `0` means [`Par::auto`].
+    pub fn new(n: usize) -> Par {
+        match NonZeroUsize::new(n) {
+            Some(threads) => Par { threads },
+            None => Par::auto(),
+        }
+    }
+
+    /// Sequential execution (one worker, no threads spawned).
+    pub fn seq() -> Par {
+        Par {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(self) -> usize {
+        self.threads.get()
+    }
+
+    /// [`par_map`] with this configuration.
+    pub fn map<T, U, F>(self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        par_map(self, items, f)
+    }
+}
+
+/// Maps `f` over `items` on up to `par.threads()` workers and returns the
+/// results in input order — semantically `items.iter().enumerate().map(f)`,
+/// including which unit's panic propagates (the lowest-index one).
+///
+/// `f` must be a pure function of `(index, item)` for the determinism
+/// guarantee to extend to the *values*; `par_map` itself only guarantees
+/// order and panic semantics.
+///
+/// # Panics
+/// Re-raises the panic of the lowest-index panicking unit, exactly as the
+/// sequential map would.
+pub fn par_map<T, U, F>(par: Par, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    UNITS_PROCESSED.fetch_add(items.len() as u64, Ordering::Relaxed);
+    let workers = par.threads().min(items.len());
+    if workers <= 1 {
+        // Sequential fast path: no spawn cost, identical semantics.
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    type Unit<U> = (usize, Result<U, Box<dyn std::any::Any + Send>>);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let mut done: Vec<Unit<U>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<Unit<U>> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, catch_unwind(AssertUnwindSafe(|| f(i, item)))));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker did not itself panic"))
+            .collect()
+    });
+    done.sort_by_key(|(i, _)| *i);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, r) in done {
+        match r {
+            Ok(v) => out.push(v),
+            // First (lowest-index) failure wins, matching sequential map.
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = par_map(Par::new(threads), &items, |_, x| x * x + 1);
+            assert_eq!(par, seq, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(Par::new(8), &[] as &[u32], |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let items = ["a", "b", "c"];
+        let out = par_map(Par::new(2), &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, ["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert_eq!(Par::new(0).threads(), Par::auto().threads());
+        assert!(Par::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn lowest_index_panic_propagates() {
+        let items: Vec<usize> = (0..100).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(Par::new(4), &items, |_, &x| {
+                assert!(!(x == 17 || x == 63), "unit {x} failed");
+                x
+            })
+        }));
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a String");
+        assert!(msg.contains("unit 17"), "got {msg}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the deterministic parallel runner: `par_map` must be
+//! observationally identical to a sequential `map` — same outputs in the
+//! same order, empty inputs included — at every thread count, and a
+//! panicking unit must surface exactly like it would sequentially (the
+//! lowest-index panic wins).
+
+use proptest::prelude::*;
+use vns_netsim::{par_map, Par};
+
+/// A cheap keyed mix so outputs depend on both index and value.
+fn mix(i: usize, v: u64) -> u64 {
+    (i as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(v)
+        .rotate_left(17)
+}
+
+proptest! {
+    #[test]
+    fn par_map_equals_sequential_map(
+        items in prop::collection::vec(0u64..u64::MAX, 0..300),
+        threads in 1usize..33,
+    ) {
+        let seq: Vec<u64> = items.iter().enumerate().map(|(i, v)| mix(i, *v)).collect();
+        let par = par_map(Par::new(threads), &items, |i, v| mix(i, *v));
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_result(
+        items in prop::collection::vec(0u64..1_000, 0..200),
+        a in 1usize..17,
+        b in 1usize..17,
+    ) {
+        let ra = par_map(Par::new(a), &items, |i, v| mix(i, *v));
+        let rb = par_map(Par::new(b), &items, |i, v| mix(i, *v));
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_at_any_thread_count(
+        len in 1usize..120,
+        panics in prop::collection::vec(0usize..120, 1..6),
+        threads in 1usize..17,
+    ) {
+        let items: Vec<usize> = (0..len).collect();
+        let panics: std::collections::BTreeSet<usize> =
+            panics.into_iter().map(|p| p % len).collect();
+        let first = *panics.iter().next().expect("non-empty");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(Par::new(threads), &items, |i, v| {
+                if panics.contains(&i) {
+                    panic!("boom at {i}");
+                }
+                *v
+            })
+        }));
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        prop_assert_eq!(msg, format!("boom at {first}"));
+    }
+}

@@ -19,6 +19,7 @@
 //!   because LTPs there also serve residences.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -237,11 +238,18 @@ fn congestion_with_mean(
 
 /// Builds [`PathChannel`]s from resolved paths, caching per-hop blackout
 /// schedules so concurrent flows see the same outage windows.
+///
+/// Every schedule and seed is derived from the factory's [`RngTree`] by
+/// label, never from call order — so [`ChannelFactory::channel`] takes
+/// `&self` and can be called from campaign worker threads concurrently
+/// with byte-identical results at any thread count. The blackout cache is
+/// pure memoization behind a [`Mutex`]; a cache hit and a recomputation
+/// return the same schedule.
 #[derive(Debug)]
 pub struct ChannelFactory {
     config: CalibrationConfig,
     rng: RngTree,
-    blackout_cache: HashMap<String, BlackoutSchedule>,
+    blackout_cache: Mutex<HashMap<String, BlackoutSchedule>>,
 }
 
 impl ChannelFactory {
@@ -251,8 +259,16 @@ impl ChannelFactory {
         Self {
             config,
             rng,
-            blackout_cache: HashMap::new(),
+            blackout_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Number of hop blackout schedules memoized so far (diagnostics).
+    pub fn cached_blackout_schedules(&self) -> usize {
+        self.blackout_cache
+            .lock()
+            .expect("blackout cache poisoned")
+            .len()
     }
 
     /// Configuration access.
@@ -421,7 +437,11 @@ impl ChannelFactory {
     }
 
     /// Blackout schedule for a hop (cached by label: flows share outages).
-    fn blackouts(&mut self, hop: &ResolvedHop) -> BlackoutSchedule {
+    ///
+    /// The schedule is a pure function of (factory seed, hop label); the
+    /// cache only avoids regenerating it, so concurrent callers racing on
+    /// the same label compute identical schedules either way.
+    fn blackouts(&self, hop: &ResolvedHop) -> BlackoutSchedule {
         let subject_to_faults = matches!(
             hop.kind,
             HopKind::IntraAs {
@@ -433,21 +453,21 @@ impl ChannelFactory {
         if !subject_to_faults || self.config.blackout_events_per_day <= 0.0 {
             return BlackoutSchedule::none();
         }
-        if let Some(s) = self.blackout_cache.get(&hop.label) {
+        let mut cache = self.blackout_cache.lock().expect("blackout cache poisoned");
+        if let Some(s) = cache.get(&hop.label) {
             return s.clone();
         }
         let gen = FaultGenerator::convergence(self.config.blackout_events_per_day);
         let mut rng = self.rng.stream(&format!("blackout:{}", hop.label));
         let schedule = gen.generate(SimTime::EPOCH, self.config.blackout_horizon, &mut rng);
-        self.blackout_cache
-            .insert(hop.label.clone(), schedule.clone());
+        cache.insert(hop.label.clone(), schedule.clone());
         schedule
     }
 
     /// Builds a per-flow channel for `path`. `flow_label` individualises
     /// the flow's loss-process state and delay draws; reusing a label
     /// reproduces the identical packet fate sequence.
-    pub fn channel(&mut self, path: &ResolvedPath, flow_label: &str) -> PathChannel {
+    pub fn channel(&self, path: &ResolvedPath, flow_label: &str) -> PathChannel {
         let mut hops = Vec::with_capacity(path.hops.len());
         for (i, hop) in path.hops.iter().enumerate() {
             let model = self.loss_model(hop);
@@ -604,7 +624,7 @@ mod tests {
 
     #[test]
     fn blackout_schedules_shared_across_flows() {
-        let mut f = factory();
+        let f = factory();
         let h = hop(
             HopKind::IntraAs {
                 asn: Asn(1),
@@ -627,13 +647,13 @@ mod tests {
         // indirectly: both channels have one hop and identical base delay.
         assert_eq!(a.hop_count(), 1);
         assert_eq!(a.base_delay_ms(), b.base_delay_ms());
-        assert_eq!(f.blackout_cache.len(), 1);
+        assert_eq!(f.cached_blackout_schedules(), 1);
     }
 
     #[test]
     fn channel_construction_deterministic() {
         let mk = || {
-            let mut f = factory();
+            let f = factory();
             let h = hop(
                 HopKind::LastMile {
                     ty: AsType::Cahp,
@@ -668,8 +688,7 @@ mod blackout_tests {
 
     #[test]
     fn faultable_hops_get_blackout_schedules() {
-        let mut f =
-            ChannelFactory::new(CalibrationConfig::default(), RngTree::new(7).subtree("ch"));
+        let f = ChannelFactory::new(CalibrationConfig::default(), RngTree::new(7).subtree("ch"));
         let hop = ResolvedHop {
             kind: HopKind::IntraAs {
                 asn: Asn(1),
@@ -688,7 +707,13 @@ mod blackout_tests {
         };
         let ch = f.channel(&path, "flow");
         let _ = ch;
-        let sched = f.blackout_cache.get("bb:test").expect("schedule cached");
+        let sched = f
+            .blackout_cache
+            .lock()
+            .unwrap()
+            .get("bb:test")
+            .expect("schedule cached")
+            .clone();
         // 30-day horizon at 4 events/day: ~120 windows.
         assert!(
             (60..240).contains(&sched.len()),

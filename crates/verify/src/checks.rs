@@ -6,7 +6,7 @@
 //! check order.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use vns_bgp::policy::relation_from_tags;
 use vns_bgp::{may_export, Community, Prefix, RouteSource, SpeakerId, DEFAULT_LOCAL_PREF};
@@ -101,7 +101,7 @@ pub(crate) fn lp_fn_shape(lp_fn: LocalPrefFn, label: &str, rep: &mut Reporter) {
 /// lookup order).
 pub(crate) fn override_sanity(vns: &Vns, rep: &mut Reporter) {
     let pop_ids: BTreeSet<_> = vns.pops().iter().map(|p| p.id()).collect();
-    let overrides = vns.overrides().borrow();
+    let overrides = vns.overrides().read().expect("overrides lock poisoned");
     let exempt: BTreeSet<Prefix> = overrides.exempt_prefixes().collect();
     for (prefix, pop) in overrides.forced_exits() {
         if !pop_ids.contains(&pop) {
@@ -145,11 +145,11 @@ fn mirror_hook(internet: &Internet, vns: &Vns) -> GeoHook {
         }
     }
     GeoHook::new(
-        Rc::new(internet.geoip.clone()),
-        Rc::new(locations),
-        Rc::new(pops),
+        Arc::new(internet.geoip.clone()),
+        Arc::new(locations),
+        Arc::new(pops),
         vns.lp_fn(),
-        Rc::clone(vns.overrides()),
+        Arc::clone(vns.overrides()),
     )
 }
 

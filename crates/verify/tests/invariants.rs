@@ -84,7 +84,10 @@ fn stale_override_table_flagged() {
     // interface performs: the reflectors' RIBs still carry the old geo
     // preferences, contradicting the table.
     let prefix = reflector_external_prefix(&internet, &vns);
-    vns.overrides().borrow_mut().force_exit(prefix, PopId(1));
+    vns.overrides()
+        .write()
+        .unwrap()
+        .force_exit(prefix, PopId(1));
     let report = verify(&internet, &vns);
     assert!(
         report
@@ -139,10 +142,14 @@ fn corrupted_override_table_flagged() {
     // mutators normally make unrepresentable, and force a second prefix to
     // a PoP that does not exist.
     vns.overrides()
-        .borrow_mut()
+        .write()
+        .unwrap()
         .inject_inconsistent_for_test(prefix, PopId(3));
     let ghost: Prefix = "200.1.0.0/16".parse().expect("prefix");
-    vns.overrides().borrow_mut().force_exit(ghost, PopId(99));
+    vns.overrides()
+        .write()
+        .unwrap()
+        .force_exit(ghost, PopId(99));
     let report = verify(&internet, &vns);
     assert!(
         report
@@ -314,7 +321,7 @@ fn override_precedence_end_to_end() {
     vns.mgmt_exempt(&mut internet, prefix)
         .expect("reconvergence");
     {
-        let ov = vns.overrides().borrow();
+        let ov = vns.overrides().read().unwrap();
         assert!(ov.is_exempt(&prefix));
         assert_eq!(ov.forced_exit(&prefix), None);
     }
@@ -324,7 +331,7 @@ fn override_precedence_end_to_end() {
     vns.mgmt_force_exit(&mut internet, prefix, forced)
         .expect("reconvergence");
     {
-        let ov = vns.overrides().borrow();
+        let ov = vns.overrides().read().unwrap();
         assert!(!ov.is_exempt(&prefix));
         assert_eq!(ov.forced_exit(&prefix), Some(forced));
     }
@@ -333,7 +340,7 @@ fn override_precedence_end_to_end() {
     // Clear restores pure geo-routing.
     vns.mgmt_clear(&mut internet, prefix)
         .expect("reconvergence");
-    assert!(vns.overrides().borrow().is_empty());
+    assert!(vns.overrides().read().unwrap().is_empty());
     assert_eq!(vns.egress_pop(&internet, vantage, ip), Some(geo_egress));
     let report = verify(&internet, &vns);
     assert!(report.is_clean(), "{}", report.render());

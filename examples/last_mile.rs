@@ -18,7 +18,7 @@ fn main() {
     println!("Building the world...");
     let mut internet = generate(&TopoConfig::default()).expect("generate");
     let vns = build_vns(&mut internet, &VnsConfig::default()).expect("converge");
-    let mut factory = ChannelFactory::new(
+    let factory = ChannelFactory::new(
         CalibrationConfig::default(),
         RngTree::new(5).subtree("channels"),
     );

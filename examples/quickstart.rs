@@ -109,7 +109,7 @@ fn main() {
     use vns::media::{run_echo_session, SessionConfig, VideoSpec};
     use vns::netsim::{Dur, RngTree, SimTime};
     use vns::topo::{CalibrationConfig, ChannelFactory};
-    let mut factory = ChannelFactory::new(
+    let factory = ChannelFactory::new(
         CalibrationConfig::default(),
         RngTree::new(1).subtree("channels"),
     );

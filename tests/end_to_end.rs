@@ -31,7 +31,7 @@ fn fixture(seed: u64) -> Fixture {
 
 #[test]
 fn media_through_vns_beats_transit() {
-    let mut f = fixture(31);
+    let f = fixture(31);
     let client = PopId(9); // Amsterdam
     let cfg = SessionConfig::default();
     let mut rng = SmallRng::seed_from_u64(1);
@@ -76,7 +76,7 @@ fn media_through_vns_beats_transit() {
 
 #[test]
 fn rtt_probes_scale_with_distance() {
-    let mut f = fixture(32);
+    let f = fixture(32);
     // Probe a European prefix from Amsterdam and from Sydney via VNS: the
     // Sydney RTT must be much larger and roughly consistent with the
     // speed of light in fibre.
@@ -110,7 +110,7 @@ fn rtt_probes_scale_with_distance() {
 
 #[test]
 fn loss_trains_see_last_mile_hierarchy() {
-    let mut f = fixture(33);
+    let f = fixture(33);
     // From Amsterdam: CAHP hosts in AP must lose much more than LTP hosts
     // in EU (the two extremes of Table 1).
     let pick = |ty: vns::topo::AsType, region: vns::geo::Region| -> Vec<u32> {
@@ -184,7 +184,7 @@ fn anycast_and_media_path_compose() {
 #[test]
 fn whole_world_is_deterministic() {
     let run = |seed: u64| {
-        let mut f = fixture(seed);
+        let f = fixture(seed);
         let echo = f.vns.echo_servers()[2];
         let path = f
             .vns
