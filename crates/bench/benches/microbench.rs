@@ -118,6 +118,74 @@ fn bench_path_resolution(c: &mut Criterion) {
     });
 }
 
+fn bench_path_channel_send(c: &mut Criterion) {
+    use vns_netsim::diurnal::{DiurnalProfile, DiurnalShape};
+    use vns_netsim::{DelaySampler, HopChannel, PathChannel};
+    // A realistic three-hop path: last mile + congested haul + clean edge.
+    let hops = || {
+        let mut lm = HopChannel::ideal(3.0);
+        lm.loss = LossProcess::new(
+            LossModel::Congestion {
+                profile: DiurnalProfile::new(DiurnalShape::Residential, 0.5, 0.42, 1.0),
+                knee: 0.7,
+                max_p: 0.05,
+                fluctuation_sigma: 0.35,
+            },
+            SmallRng::seed_from_u64(21),
+        );
+        lm.delay = DelaySampler::contended(
+            3.0,
+            DiurnalProfile::new(DiurnalShape::Residential, 0.5, 0.42, 1.0),
+        );
+        let mut haul = HopChannel::ideal(40.0);
+        haul.loss = LossProcess::new(
+            LossModel::bursty(0.002, 0.3, 1.5),
+            SmallRng::seed_from_u64(22),
+        );
+        vec![lm, haul, HopChannel::ideal(2.0)]
+    };
+    let mut g = c.benchmark_group("channel");
+    g.bench_function("send_exact", |b| {
+        let mut ch = PathChannel::exact(hops(), SmallRng::seed_from_u64(23));
+        let mut t = SimTime::EPOCH;
+        b.iter(|| {
+            t += Dur::from_micros(100);
+            black_box(ch.send(t));
+        });
+    });
+    g.bench_function("send_fast", |b| {
+        let mut ch = PathChannel::new(hops(), SmallRng::seed_from_u64(23));
+        let mut t = SimTime::EPOCH;
+        b.iter(|| {
+            t += Dur::from_micros(100);
+            black_box(ch.send(t));
+        });
+    });
+    g.bench_function("send_many_fast_1k", |b| {
+        let mut ch = PathChannel::new(hops(), SmallRng::seed_from_u64(23));
+        let mut t = SimTime::EPOCH;
+        b.iter(|| {
+            t += Dur::from_millis(100);
+            let base = t;
+            let train = (0..1000u64).map(|i| base + Dur::from_micros(i * 100));
+            black_box(ch.send_many(train).filter(|(_, o)| o.delivered()).count());
+        });
+    });
+    g.finish();
+}
+
+fn bench_diurnal(c: &mut Criterion) {
+    use vns_netsim::diurnal::{DiurnalProfile, DiurnalShape};
+    let profile = DiurnalProfile::new(DiurnalShape::Mixed, 0.4, 0.2, 5.5);
+    c.bench_function("netsim/diurnal_utilization", |b| {
+        let mut t = SimTime::EPOCH;
+        b.iter(|| {
+            t += Dur::from_secs(61);
+            black_box(profile.utilization(black_box(t)));
+        });
+    });
+}
+
 fn bench_media_session(c: &mut Criterion) {
     use vns_media::{run_echo_session, SessionConfig, VideoSpec};
     let world = World::geo(13, 0.45);
@@ -150,6 +218,8 @@ criterion_group!(
     bench_trie_lpm,
     bench_decision,
     bench_loss_process,
+    bench_path_channel_send,
+    bench_diurnal,
     bench_topology,
     bench_path_resolution,
     bench_media_session

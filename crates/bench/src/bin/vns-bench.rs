@@ -119,17 +119,22 @@ struct ExpRecord {
     name: &'static str,
     wall_s: f64,
     units: u64,
+    packets: u64,
 }
 
-/// Times `f` and samples the global work-unit counter around it.
+/// Times `f` and samples the global work-unit and packet counters around
+/// it. Channels flush their packet tallies on drop, and every experiment
+/// drops its channels before returning, so the delta is complete.
 fn timed<T>(records: &mut Vec<ExpRecord>, name: &'static str, f: impl FnOnce() -> T) -> T {
     let units0 = vns_netsim::par::units_processed();
+    let packets0 = vns_netsim::packets_sent();
     let t0 = Instant::now();
     let out = f();
     records.push(ExpRecord {
         name,
         wall_s: t0.elapsed().as_secs_f64(),
         units: vns_netsim::par::units_processed() - units0,
+        packets: vns_netsim::packets_sent() - packets0,
     });
     out
 }
@@ -150,11 +155,17 @@ fn campaigns_json(opts: &Opts, par: Par, records: &[ExpRecord], total_s: f64) ->
         } else {
             0.0
         };
+        let pkt_tput = if r.wall_s > 0.0 {
+            r.packets as f64 / r.wall_s
+        } else {
+            0.0
+        };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"units\": {}, \"units_per_s\": {tput:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"units\": {}, \"units_per_s\": {tput:.1}, \"packets\": {}, \"packets_per_s\": {pkt_tput:.0}}}{}\n",
             r.name,
             r.wall_s,
             r.units,
+            r.packets,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }

@@ -85,10 +85,24 @@ pub fn prefix_metas(world: &World) -> Vec<PrefixMeta> {
 
 /// Builds a forward/return channel pair for a resolved path.
 pub fn channel_pair(world: &World, path: &ResolvedPath, label: &str) -> (PathChannel, PathChannel) {
-    let fwd = world.factory.channel(path, &format!("{label}:fwd"));
+    channel_pair_args(world, path, format_args!("{label}"))
+}
+
+/// [`channel_pair`] with a `format_args!` label: the per-probe hot paths
+/// build one channel pair per (pop, ip) probe, and hashing the label as it
+/// renders avoids three `String` allocations per probe. Hash-compatible
+/// with the `&str` form.
+pub fn channel_pair_args(
+    world: &World,
+    path: &ResolvedPath,
+    label: std::fmt::Arguments<'_>,
+) -> (PathChannel, PathChannel) {
+    let fwd = world
+        .factory
+        .channel_args(path, format_args!("{label}:fwd"));
     let rev = world
         .factory
-        .channel(&path.reversed(), &format!("{label}:rev"));
+        .channel_args(&path.reversed(), format_args!("{label}:rev"));
     (fwd, rev)
 }
 
@@ -96,7 +110,7 @@ pub fn channel_pair(world: &World, path: &ResolvedPath, label: &str) -> (PathCha
 /// the PoP's primary upstream. `None` when unroutable or all probes lost.
 pub fn rtt_via_upstream(world: &World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
     let path = world.vns.path_via_upstream(&world.internet, pop, ip).ok()?;
-    let (mut fwd, mut rev) = channel_pair(world, &path, &format!("rttu:{}:{}", pop.0, ip));
+    let (mut fwd, mut rev) = channel_pair_args(world, &path, format_args!("rttu:{}:{ip}", pop.0));
     rtt_probe_std(&mut fwd, &mut rev, t).min_rtt_ms
 }
 
@@ -108,14 +122,14 @@ pub fn rtt_via_local_exit(world: &World, pop: PopId, ip: u32, t: SimTime) -> Opt
         .vns
         .path_via_local_exit(&world.internet, pop, ip)
         .ok()?;
-    let (mut fwd, mut rev) = channel_pair(world, &path, &format!("rttl:{}:{}", pop.0, ip));
+    let (mut fwd, mut rev) = channel_pair_args(world, &path, format_args!("rttl:{}:{ip}", pop.0));
     rtt_probe_std(&mut fwd, &mut rev, t).min_rtt_ms
 }
 
 /// Minimum RTT (5-ping probe) from a PoP to `ip` through VNS routing.
 pub fn rtt_via_vns(world: &World, pop: PopId, ip: u32, t: SimTime) -> Option<f64> {
     let path = world.vns.path_via_vns(&world.internet, pop, ip).ok()?;
-    let (mut fwd, mut rev) = channel_pair(world, &path, &format!("rttv:{}:{}", pop.0, ip));
+    let (mut fwd, mut rev) = channel_pair_args(world, &path, format_args!("rttv:{}:{ip}", pop.0));
     rtt_probe_std(&mut fwd, &mut rev, t).min_rtt_ms
 }
 
@@ -233,8 +247,10 @@ pub fn media_campaign(
         let mut out = Vec::with_capacity(sessions_per_arm);
         for s in 0..sessions_per_arm {
             let t0 = start + Dur::from_mins(30).mul(s as u64);
-            let sched = spec.schedule(t0, cfg.duration, &mut rng);
-            let report = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
+            // Stream the packets straight off the generator — no ~51k-element
+            // schedule Vec per session. Same RNG walk as spec.schedule().
+            let packets = spec.packets(t0, cfg.duration, &mut rng);
+            let report = run_echo_session(packets, &cfg, &mut fwd, &mut rev);
             out.push((arm, report));
         }
         out
@@ -333,8 +349,8 @@ pub fn lastmile_campaign(
         let Ok(path) = world.vns.path_via_local_exit(&world.internet, pop, host.ip) else {
             return Vec::new();
         };
-        let label = format!("lm:{}:{}", pop.0, host.ip);
-        let (mut fwd, mut rev) = channel_pair(world, &path, &label);
+        let (mut fwd, mut rev) =
+            channel_pair_args(world, &path, format_args!("lm:{}:{}", pop.0, host.ip));
         rounds
             .iter()
             .map(|&at| TrainRecord {

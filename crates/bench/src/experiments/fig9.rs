@@ -88,23 +88,24 @@ pub fn run(world: &World, sessions_per_arm: usize, par: Par) -> Fig9 {
 
 impl Fig9 {
     /// Fraction of streams above 0.15 % loss for a (client, region, via)
-    /// triple.
+    /// triple. Linear scan rather than a keyed lookup: the map holds at
+    /// most (clients × regions × 2) ≈ 18 entries and a `get` would clone
+    /// both strings to build the key.
     pub fn frac_over_150m(&self, client: &str, region: &str, via_vns: bool) -> f64 {
         self.over_150m
-            .get(&(client.to_string(), region.to_string(), via_vns))
-            .copied()
-            .unwrap_or(0.0)
+            .iter()
+            .find(|((c, r, v), _)| c == client && r == region && *v == via_vns)
+            .map_or(0.0, |(_, frac)| *frac)
     }
 
     /// Mean stream loss over all sessions of one arm kind.
     pub fn mean_loss(&self, via_vns: bool) -> f64 {
-        let l: Vec<f64> = self
+        let (sum, n) = self
             .sessions
             .iter()
             .filter(|(a, _)| a.via_vns == via_vns)
-            .map(|(_, r)| r.rt_loss_pct())
-            .collect();
-        l.iter().sum::<f64>() / l.len().max(1) as f64
+            .fold((0.0, 0usize), |(s, n), (_, r)| (s + r.rt_loss_pct(), n + 1));
+        sum / n.max(1) as f64
     }
 }
 

@@ -8,7 +8,7 @@
 //! `vns-bench` prints and writes with `--out`) at `--threads 1` and
 //! `--threads 8` from freshly built worlds and compares the strings.
 
-use vns_bench::experiments::{fig11, fig3, fig9};
+use vns_bench::experiments::{fig10, fig11, fig3, fig9, table1};
 use vns_bench::{World, WorldConfig};
 use vns_netsim::{Dur, Par};
 
@@ -56,6 +56,24 @@ fn fig11_artefact_is_byte_identical_across_thread_counts() {
     assert_identical("fig11", |w, par| {
         let data = fig11::run_campaign(w, 3, Dur::from_mins(60), Dur::from_hours(12), par);
         fig11::run(&data).to_string()
+    });
+}
+
+#[test]
+fn fig10_artefact_is_byte_identical_across_thread_counts() {
+    // fig10 reuses fig9's raw sessions, so this also pins the per-slot
+    // loss counts (not just the aggregated CCDF) across thread counts.
+    assert_identical("fig10", |w, par| {
+        let nine = fig9::run(w, 6, par);
+        fig10::run(&nine.sessions).to_string()
+    });
+}
+
+#[test]
+fn table1_artefact_is_byte_identical_across_thread_counts() {
+    assert_identical("table1", |w, par| {
+        let data = fig11::run_campaign(w, 3, Dur::from_mins(60), Dur::from_hours(12), par);
+        table1::run(&data).to_string()
     });
 }
 

@@ -30,4 +30,4 @@ pub use fec::FecConfig;
 pub use rtp::JitterEstimator;
 pub use session::{run_echo_session, SessionConfig, SessionReport};
 pub use signaling::{authenticate, setup_call, SetupReport};
-pub use stream::{PacketSchedule, VideoSpec};
+pub use stream::{PacketIter, PacketSchedule, ScheduledPacket, VideoSpec};

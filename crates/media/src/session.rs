@@ -5,10 +5,10 @@
 //! received packet straight back; the client logs loss, per-5-second-slot
 //! loss counts and RFC 3550 jitter.
 
-use vns_netsim::{Dur, PathChannel, PathOutcome};
+use vns_netsim::{Dur, PathChannel, PathOutcome, SimTime};
 
 use crate::rtp::JitterEstimator;
-use crate::stream::PacketSchedule;
+use crate::stream::ScheduledPacket;
 
 /// Session parameters.
 #[derive(Debug, Clone, Copy)]
@@ -74,25 +74,34 @@ impl SessionReport {
 
 /// Runs one echo session: every scheduled packet goes out on `forward`;
 /// on delivery the echo server immediately returns it on `reverse`.
-pub fn run_echo_session(
-    schedule: &PacketSchedule,
+///
+/// `packets` is any packet source in send order — a `&PacketSchedule` or,
+/// preferably, [`crate::VideoSpec::packets`]'s lazy iterator, which avoids
+/// materialising the ~51k-packet Vec per 2-minute 1080p session. The first
+/// packet's send time anchors the slot grid.
+pub fn run_echo_session<I>(
+    packets: I,
     config: &SessionConfig,
     forward: &mut PathChannel,
     reverse: &mut PathChannel,
-) -> SessionReport {
+) -> SessionReport
+where
+    I: IntoIterator<Item = ScheduledPacket>,
+{
     let n_slots = config.duration.div_count(config.slot).max(1) as usize;
     let mut slot_losses = vec![0u32; n_slots];
+    let mut sent = 0u32;
     let mut delivered_out = 0u32;
     let mut returned = 0u32;
     let mut jitter = JitterEstimator::new();
     let mut min_rtt: Option<f64> = None;
-    let start = schedule.packets.first().map(|p| p.sent);
+    let mut start: Option<SimTime> = None;
 
-    for pkt in &schedule.packets {
-        let slot = start.map_or(0, |s| {
-            ((pkt.sent - s).div_count(config.slot) as usize).min(n_slots - 1)
-        });
-        match forward.send(pkt.sent) {
+    for (pkt, outcome) in forward.send_many(packets) {
+        sent += 1;
+        let s = *start.get_or_insert(pkt.sent);
+        let slot = ((pkt.sent - s).div_count(config.slot) as usize).min(n_slots - 1);
+        match outcome {
             PathOutcome::Lost { .. } => {
                 slot_losses[slot] += 1;
             }
@@ -116,7 +125,7 @@ pub fn run_echo_session(
     }
 
     SessionReport {
-        sent: schedule.packets.len() as u32,
+        sent,
         delivered_out,
         returned,
         slot_losses,
@@ -129,10 +138,10 @@ pub fn run_echo_session(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::VideoSpec;
+    use crate::stream::{PacketSchedule, VideoSpec};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use vns_netsim::{HopChannel, LossModel, LossProcess, SimTime};
+    use vns_netsim::{HopChannel, LossModel, LossProcess};
 
     fn ideal_channel(ms: f64, seed: u64) -> PathChannel {
         PathChannel::new(vec![HopChannel::ideal(ms)], SmallRng::seed_from_u64(seed))
@@ -205,6 +214,32 @@ mod tests {
         let r = run_echo_session(&sched, &cfg, &mut fwd, &mut rev);
         assert!(r.rt_loss_pct() > 3.0, "loss {}", r.rt_loss_pct());
         assert!(r.lossy_slots() <= 3, "slots {}", r.lossy_slots());
+    }
+
+    #[test]
+    fn streaming_session_matches_materialised() {
+        // Driving the session off the lazy packet iterator must reproduce
+        // the materialised-schedule run exactly (same RNG consumption).
+        let cfg = SessionConfig::default();
+        let run_lazy = || {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut fwd = lossy_channel(0.01, 50);
+            let mut rev = lossy_channel(0.01, 51);
+            let pkts = VideoSpec::HD1080.packets(SimTime::EPOCH, Dur::from_secs(120), &mut rng);
+            run_echo_session(pkts, &cfg, &mut fwd, &mut rev)
+        };
+        let run_vec = || {
+            let sched = schedule();
+            let mut fwd = lossy_channel(0.01, 50);
+            let mut rev = lossy_channel(0.01, 51);
+            run_echo_session(&sched, &cfg, &mut fwd, &mut rev)
+        };
+        let (a, b) = (run_lazy(), run_vec());
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.returned, b.returned);
+        assert_eq!(a.slot_losses, b.slot_losses);
+        assert_eq!(a.jitter_ms, b.jitter_ms);
+        assert_eq!(a.min_rtt_ms, b.min_rtt_ms);
     }
 
     #[test]

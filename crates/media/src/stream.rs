@@ -9,7 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use vns_netsim::{Dur, SimTime};
+use vns_netsim::{Dur, SendAt, SimTime};
 
 /// A video stream class.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,39 +69,97 @@ impl VideoSpec {
     /// Generates the packet send schedule for a session of `duration`
     /// starting at `start`. Frame sizes vary ±20% around their class mean;
     /// packets of one frame leave back-to-back at a 100 µs pacing.
+    ///
+    /// This materialises [`VideoSpec::packets`] into a `Vec` — a 2-minute
+    /// 1080p session is ~51k packets (~1.6 MB). Session runners should
+    /// prefer the lazy iterator; the materialised form remains for call
+    /// sites that index or re-walk the schedule.
     pub fn schedule(&self, start: SimTime, duration: Dur, rng: &mut SmallRng) -> PacketSchedule {
-        let frame_interval = Dur::from_millis_f64(1000.0 / self.fps);
-        let n_frames = duration.div_count(frame_interval) as usize;
-        let p_bytes = self.mean_p_frame_bytes();
-        let mut packets = Vec::with_capacity(
-            (duration.as_secs_f64() * self.approx_packets_per_sec() * 1.1) as usize,
-        );
-        let pacing = Dur::from_micros(100);
-        let mut t = start;
-        for f in 0..n_frames {
-            let base = if f % self.gop == 0 {
-                p_bytes * self.i_frame_ratio
-            } else {
-                p_bytes
-            };
-            let size = (base * rng.gen_range(0.8..1.2)).max(64.0) as usize;
-            let n_pkts = size.div_ceil(self.mtu_payload);
-            for k in 0..n_pkts {
-                let sent = t + pacing.mul(k as u64);
-                let payload = if k + 1 == n_pkts {
-                    size - self.mtu_payload * (n_pkts - 1)
-                } else {
-                    self.mtu_payload
-                };
-                packets.push(ScheduledPacket {
-                    sent,
-                    payload_bytes: payload,
-                    frame: f as u32,
-                });
-            }
-            t += frame_interval;
+        PacketSchedule {
+            packets: self.packets(start, duration, rng).collect(),
         }
-        PacketSchedule { packets }
+    }
+
+    /// Lazily yields the same packet sequence as [`VideoSpec::schedule`],
+    /// in send order, without materialising it. Draws exactly one frame-size
+    /// variate per frame from `rng`, in frame order — identical RNG
+    /// consumption to `schedule`, so the two are interchangeable under a
+    /// shared seed.
+    pub fn packets<'r>(
+        &self,
+        start: SimTime,
+        duration: Dur,
+        rng: &'r mut SmallRng,
+    ) -> PacketIter<'r> {
+        let frame_interval = Dur::from_millis_f64(1000.0 / self.fps);
+        PacketIter {
+            spec: *self,
+            rng,
+            pacing: Dur::from_micros(100),
+            frame_interval,
+            p_bytes: self.mean_p_frame_bytes(),
+            n_frames: duration.div_count(frame_interval) as usize,
+            next_frame: 0,
+            frame_start: start,
+            frame_size: 0,
+            n_pkts: 0,
+            k: 0,
+        }
+    }
+}
+
+/// Lazy packet generator for one stream (see [`VideoSpec::packets`]).
+#[derive(Debug)]
+pub struct PacketIter<'r> {
+    spec: VideoSpec,
+    rng: &'r mut SmallRng,
+    pacing: Dur,
+    frame_interval: Dur,
+    p_bytes: f64,
+    n_frames: usize,
+    /// Next frame to start (frames `0..next_frame` are begun or done).
+    next_frame: usize,
+    /// Send instant of the current frame's first packet.
+    frame_start: SimTime,
+    frame_size: usize,
+    n_pkts: usize,
+    /// Next packet index within the current frame.
+    k: usize,
+}
+
+impl Iterator for PacketIter<'_> {
+    type Item = ScheduledPacket;
+
+    fn next(&mut self) -> Option<ScheduledPacket> {
+        while self.k >= self.n_pkts {
+            if self.next_frame >= self.n_frames {
+                return None;
+            }
+            if self.next_frame > 0 {
+                self.frame_start += self.frame_interval;
+            }
+            let base = if self.next_frame.is_multiple_of(self.spec.gop) {
+                self.p_bytes * self.spec.i_frame_ratio
+            } else {
+                self.p_bytes
+            };
+            self.frame_size = (base * self.rng.gen_range(0.8..1.2)).max(64.0) as usize;
+            self.n_pkts = self.frame_size.div_ceil(self.spec.mtu_payload);
+            self.k = 0;
+            self.next_frame += 1;
+        }
+        let k = self.k;
+        self.k += 1;
+        let payload = if k + 1 == self.n_pkts {
+            self.frame_size - self.spec.mtu_payload * (self.n_pkts - 1)
+        } else {
+            self.spec.mtu_payload
+        };
+        Some(ScheduledPacket {
+            sent: self.frame_start + self.pacing.mul(k as u64),
+            payload_bytes: payload,
+            frame: (self.next_frame - 1) as u32,
+        })
     }
 }
 
@@ -114,6 +172,12 @@ pub struct ScheduledPacket {
     pub payload_bytes: usize,
     /// Frame index the packet belongs to.
     pub frame: u32,
+}
+
+impl SendAt for ScheduledPacket {
+    fn send_at(&self) -> SimTime {
+        self.sent
+    }
 }
 
 /// The full send schedule of one stream.
@@ -137,6 +201,15 @@ impl PacketSchedule {
     /// Total payload bytes.
     pub fn total_bytes(&self) -> u64 {
         self.packets.iter().map(|p| p.payload_bytes as u64).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a PacketSchedule {
+    type Item = ScheduledPacket;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ScheduledPacket>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.iter().copied()
     }
 }
 
@@ -189,6 +262,17 @@ mod tests {
         let s720 = VideoSpec::HD720.schedule(SimTime::EPOCH, Dur::from_secs(30), &mut rng());
         let s1080 = VideoSpec::HD1080.schedule(SimTime::EPOCH, Dur::from_secs(30), &mut rng());
         assert!(s720.len() < s1080.len());
+    }
+
+    #[test]
+    fn lazy_iterator_matches_materialised_schedule() {
+        for spec in [VideoSpec::HD720, VideoSpec::HD1080] {
+            let start = SimTime::EPOCH + Dur::from_hours(7);
+            let dur = Dur::from_secs(20);
+            let sched = spec.schedule(start, dur, &mut rng());
+            let lazy: Vec<ScheduledPacket> = spec.packets(start, dur, &mut rng()).collect();
+            assert_eq!(sched.packets, lazy, "{}", spec.name);
+        }
     }
 
     #[test]

@@ -5,6 +5,34 @@
 //! can push packets through: each hop has a loss process, a delay sampler
 //! and an optional blackout schedule, and a packet either dies at some hop
 //! or arrives after the summed one-way delay.
+//!
+//! # The fast path
+//!
+//! A per-packet send costs, naively, per hop: a blackout binary search, a
+//! loss-process state step (diurnal trig for congestion models), a loss
+//! draw and an exponential delay draw. The quantities driving those are
+//! slowly varying — the diurnal curve moves over hours, the congestion
+//! fluctuation is resampled every five minutes — so [`PathChannel`]
+//! quantises them per hop on a configurable sim-time **epoch** (default
+//! [`DEFAULT_EPOCH`] = 1 s) into a [`HopEpoch`] snapshot:
+//!
+//! * the per-packet loss probability, frozen at the epoch start, with loss
+//!   realised by **geometric gap sampling**
+//!   ([`LossProcess::gap_to_next_loss`]) instead of a Bernoulli draw per
+//!   packet;
+//! * the mean queueing delay (the only trig consumer on the delay side);
+//! * the blackout segment containing the current time — cached but
+//!   **exact**: window edges bound segments, so membership answers never
+//!   quantise (see [`BlackoutSchedule::segment_at`]).
+//!
+//! Steady-state per-packet cost is then two comparisons, a counter
+//! decrement and one exponential delay draw. Setting the epoch to
+//! [`Dur::ZERO`] (via [`PathChannel::exact`] or [`PathChannel::set_epoch`])
+//! disables all caching and reproduces the original per-packet reference
+//! semantics — the equivalence proptests in `tests/fastpath.rs` pin the
+//! fast path's loss/delay distributions against it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 
@@ -12,6 +40,22 @@ use crate::delay::DelaySampler;
 use crate::fault::BlackoutSchedule;
 use crate::loss::LossProcess;
 use crate::time::{Dur, SimTime};
+
+/// Default epoch for the fast path: 1 s, far below the 5-minute congestion
+/// fluctuation correlation and the hour-scale diurnal curve the loss and
+/// delay models already assume.
+pub const DEFAULT_EPOCH: Dur = Dur::from_secs(1);
+
+/// Total packets pushed through any [`PathChannel`] in this process.
+/// `vns-bench` samples it around each experiment to report packet
+/// throughput in `BENCH_campaigns.json`. Channels count locally and flush
+/// on drop, so the hot loop never touches the shared cache line.
+static PACKETS_SENT: AtomicU64 = AtomicU64::new(0);
+
+/// Packets sent through [`PathChannel`]s so far in this process.
+pub fn packets_sent() -> u64 {
+    PACKETS_SENT.load(Ordering::Relaxed)
+}
 
 /// One hop of a path, as seen by a single flow.
 #[derive(Debug, Clone)]
@@ -73,18 +117,168 @@ impl PathOutcome {
     }
 }
 
+/// Per-hop epoch snapshot: the slowly-varying quantities a packet consults,
+/// frozen at the epoch start (see the module docs for what each caches).
+#[derive(Debug, Clone)]
+struct HopEpoch {
+    /// Epoch validity `[valid_from, valid_until)`.
+    valid_from: SimTime,
+    valid_until: SimTime,
+    /// Loss probability frozen at the epoch start.
+    loss_p: f64,
+    /// Packets that survive before the next loss (geometric gap).
+    gap_left: u64,
+    /// Mean queueing delay frozen at the epoch start, ms.
+    mean_queue_ms: f64,
+    /// Cached blackout segment `[seg_lo, seg_hi)` — exact, not quantised.
+    seg_lo: SimTime,
+    seg_hi: SimTime,
+    seg_blacked: bool,
+}
+
+impl HopEpoch {
+    /// A snapshot no time falls into, forcing a refresh on first use.
+    fn stale() -> Self {
+        HopEpoch {
+            valid_from: SimTime::MAX,
+            valid_until: SimTime::EPOCH,
+            loss_p: 0.0,
+            gap_left: u64::MAX,
+            mean_queue_ms: 0.0,
+            seg_lo: SimTime::MAX,
+            seg_hi: SimTime::EPOCH,
+            seg_blacked: false,
+        }
+    }
+}
+
+/// Refreshes a hop's epoch snapshot for the epoch containing `now`.
+fn refresh_epoch(hop: &mut HopChannel, ep: &mut HopEpoch, now: SimTime, epoch: Dur) {
+    let e = epoch.as_nanos();
+    let start = SimTime::from_nanos((now.as_nanos() / e) * e);
+    ep.valid_from = start;
+    ep.valid_until = start + epoch;
+    ep.loss_p = hop.loss.loss_prob(start).clamp(0.0, 1.0);
+    // Geometric gaps are memoryless: discarding the previous epoch's
+    // unexhausted gap and re-drawing here preserves the loss distribution
+    // even when loss_p did not change.
+    ep.gap_left = hop.loss.gap_to_next_loss(ep.loss_p);
+    ep.mean_queue_ms = hop.delay.mean_queue_ms(start);
+}
+
+/// Extracts the send instant from a batched-send item; lets
+/// [`PathChannel::send_many`] drive on plain instants as well as richer
+/// packet records (e.g. `vns-media`'s scheduled packets).
+pub trait SendAt {
+    /// When this item goes on the wire.
+    fn send_at(&self) -> SimTime;
+}
+
+impl SendAt for SimTime {
+    fn send_at(&self) -> SimTime {
+        *self
+    }
+}
+
+/// Lazy batched-send iterator: yields `(item, outcome)` per input item.
+/// See [`PathChannel::send_many`].
+#[derive(Debug)]
+pub struct SendMany<'c, I> {
+    channel: &'c mut PathChannel,
+    items: I,
+}
+
+impl<I> Iterator for SendMany<'_, I>
+where
+    I: Iterator,
+    I::Item: SendAt,
+{
+    type Item = (I::Item, PathOutcome);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.items.next()?;
+        let outcome = self.channel.send(item.send_at());
+        Some((item, outcome))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.items.size_hint()
+    }
+}
+
 /// A flow's multi-hop channel: owns per-hop state, shared by all packets of
 /// the flow.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PathChannel {
     hops: Vec<HopChannel>,
     rng: SmallRng,
+    /// Fast-path quantisation epoch; [`Dur::ZERO`] means exact per-packet
+    /// evaluation (the reference path).
+    epoch: Dur,
+    cache: Vec<HopEpoch>,
+    /// Locally counted packets, flushed to [`PACKETS_SENT`] on drop.
+    pending_count: u64,
+}
+
+impl Clone for PathChannel {
+    fn clone(&self) -> Self {
+        Self {
+            hops: self.hops.clone(),
+            rng: self.rng.clone(),
+            epoch: self.epoch,
+            cache: self.cache.clone(),
+            // The clone has sent nothing yet; the original keeps (and will
+            // flush) its own tally.
+            pending_count: 0,
+        }
+    }
+}
+
+impl Drop for PathChannel {
+    fn drop(&mut self) {
+        if self.pending_count > 0 {
+            PACKETS_SENT.fetch_add(self.pending_count, Ordering::Relaxed);
+        }
+    }
 }
 
 impl PathChannel {
-    /// Builds a channel from hops; `rng` drives the delay sampling.
+    /// Builds a fast-path channel (epoch [`DEFAULT_EPOCH`]); `rng` drives
+    /// the delay sampling.
     pub fn new(hops: Vec<HopChannel>, rng: SmallRng) -> Self {
-        Self { hops, rng }
+        Self::with_epoch(hops, rng, DEFAULT_EPOCH)
+    }
+
+    /// Builds an exact-mode channel: no epoch caching, every packet pays
+    /// the full per-hop evaluation. The reference the fast path's
+    /// equivalence tests pin against.
+    pub fn exact(hops: Vec<HopChannel>, rng: SmallRng) -> Self {
+        Self::with_epoch(hops, rng, Dur::ZERO)
+    }
+
+    /// Builds a channel with an explicit epoch ([`Dur::ZERO`] = exact).
+    pub fn with_epoch(hops: Vec<HopChannel>, rng: SmallRng, epoch: Dur) -> Self {
+        let cache = vec![HopEpoch::stale(); hops.len()];
+        Self {
+            hops,
+            rng,
+            epoch,
+            cache,
+            pending_count: 0,
+        }
+    }
+
+    /// The fast-path epoch ([`Dur::ZERO`] = exact mode).
+    pub fn epoch(&self) -> Dur {
+        self.epoch
+    }
+
+    /// Changes the epoch, invalidating all cached snapshots.
+    pub fn set_epoch(&mut self, epoch: Dur) {
+        self.epoch = epoch;
+        for ep in &mut self.cache {
+            *ep = HopEpoch::stale();
+        }
     }
 
     /// Number of hops.
@@ -99,14 +293,85 @@ impl PathChannel {
 
     /// Sends one packet at `sent`; the packet progresses hop by hop,
     /// accruing sampled delay, and may be dropped by any hop's loss process
-    /// or blackout schedule.
+    /// or blackout schedule. Dispatches to the epoch-cached fast path
+    /// unless the epoch is [`Dur::ZERO`].
     pub fn send(&mut self, sent: SimTime) -> PathOutcome {
+        self.pending_count += 1;
+        if self.epoch == Dur::ZERO {
+            self.send_exact(sent)
+        } else {
+            self.send_fast(sent)
+        }
+    }
+
+    /// Batched send: lazily pushes each item through the channel and yields
+    /// `(item, outcome)` pairs. `run_echo_session` and `loss_train` drive
+    /// their packet trains through this; it is also the natural shape for
+    /// the criterion microbenches comparing per-call vs batched cost.
+    pub fn send_many<I>(&mut self, items: I) -> SendMany<'_, I::IntoIter>
+    where
+        I: IntoIterator,
+        I::Item: SendAt,
+    {
+        SendMany {
+            channel: self,
+            items: items.into_iter(),
+        }
+    }
+
+    /// The exact per-packet reference path (what `send` did before the
+    /// epoch cache existed). Every hop pays the blackout binary search, the
+    /// loss-process state step and draw, and the time-dependent delay
+    /// sample.
+    fn send_exact(&mut self, sent: SimTime) -> PathOutcome {
         let mut now = sent;
         for (i, hop) in self.hops.iter_mut().enumerate() {
             if hop.blackouts.blacked_out(now) || hop.loss.packet_lost(now) {
                 return PathOutcome::Lost { hop: i };
             }
             let d = Dur::from_millis_f64(hop.delay.sample_ms(now, &mut self.rng));
+            now += d;
+        }
+        PathOutcome::Delivered {
+            arrival: now,
+            delay: now - sent,
+        }
+    }
+
+    /// The epoch-cached fast path (see module docs). Blackout membership
+    /// stays exact; loss probability and mean queue delay are frozen per
+    /// epoch; loss is realised by geometric gap countdown.
+    fn send_fast(&mut self, sent: SimTime) -> PathOutcome {
+        let mut now = sent;
+        let epoch = self.epoch;
+        let rng = &mut self.rng;
+        for (i, (hop, ep)) in self.hops.iter_mut().zip(self.cache.iter_mut()).enumerate() {
+            // Blackouts first (mirrors the exact path's short-circuit: a
+            // blacked-out packet consumes no loss draw). The cached segment
+            // is exact — it is re-resolved whenever `now` leaves it, and
+            // segments never span a window edge. Reverse-direction flows
+            // can present non-monotonic times; the containment check
+            // handles both directions.
+            if now < ep.seg_lo || now >= ep.seg_hi {
+                let (lo, hi, blacked) = hop.blackouts.segment_at(now);
+                ep.seg_lo = lo;
+                ep.seg_hi = hi;
+                ep.seg_blacked = blacked;
+            }
+            if ep.seg_blacked {
+                return PathOutcome::Lost { hop: i };
+            }
+            if now < ep.valid_from || now >= ep.valid_until {
+                refresh_epoch(hop, ep, now, epoch);
+            }
+            if ep.loss_p > 0.0 {
+                if ep.gap_left == 0 {
+                    ep.gap_left = hop.loss.gap_to_next_loss(ep.loss_p);
+                    return PathOutcome::Lost { hop: i };
+                }
+                ep.gap_left -= 1;
+            }
+            let d = Dur::from_millis_f64(hop.delay.sample_with_mean_ms(ep.mean_queue_ms, rng));
             now += d;
         }
         PathOutcome::Delivered {
@@ -176,5 +441,62 @@ mod tests {
         let mut ch = PathChannel::new(vec![hop1, hop2], rng(5));
         // Sent at t=0, arrives at hop2 at ~t=1s which is inside [0.5s, 2.5s).
         assert_eq!(ch.send(SimTime::EPOCH), PathOutcome::Lost { hop: 1 });
+    }
+
+    #[test]
+    fn lossless_fast_and_exact_paths_are_identical() {
+        // With no loss process engaged, the fast path consumes the delay
+        // RNG exactly like the exact path — outcomes match bit for bit.
+        let hops = || vec![HopChannel::ideal(10.0), HopChannel::ideal(20.0)];
+        let mut fast = PathChannel::new(hops(), rng(6));
+        let mut exact = PathChannel::exact(hops(), rng(6));
+        let mut t = SimTime::EPOCH;
+        for _ in 0..5000 {
+            assert_eq!(fast.send(t), exact.send(t));
+            t += Dur::from_micros(700);
+        }
+    }
+
+    #[test]
+    fn send_many_matches_sequential_sends() {
+        let hops = || {
+            let mut h = HopChannel::ideal(5.0);
+            h.loss = LossProcess::new(LossModel::Bernoulli { p: 0.05 }, rng(7));
+            vec![h]
+        };
+        let mut a = PathChannel::new(hops(), rng(8));
+        let mut b = PathChannel::new(hops(), rng(8));
+        let times: Vec<SimTime> = (0..2000u64)
+            .map(|i| SimTime::EPOCH + Dur::from_micros(i * 100))
+            .collect();
+        let batched: Vec<PathOutcome> =
+            a.send_many(times.iter().copied()).map(|(_, o)| o).collect();
+        let seq: Vec<PathOutcome> = times.iter().map(|&t| b.send(t)).collect();
+        assert_eq!(batched, seq);
+    }
+
+    #[test]
+    fn set_epoch_invalidates_cache() {
+        let mut ch = PathChannel::new(vec![HopChannel::ideal(1.0)], rng(9));
+        assert_eq!(ch.epoch(), DEFAULT_EPOCH);
+        let _ = ch.send(SimTime::EPOCH);
+        ch.set_epoch(Dur::ZERO);
+        assert_eq!(ch.epoch(), Dur::ZERO);
+        assert!(ch.send(SimTime::EPOCH + Dur::from_secs(1)).delivered());
+    }
+
+    #[test]
+    fn packet_counter_flushes_on_drop() {
+        let before = packets_sent();
+        {
+            let mut ch = PathChannel::new(vec![HopChannel::ideal(1.0)], rng(10));
+            for i in 0..37u64 {
+                let _ = ch.send(SimTime::EPOCH + Dur::from_millis(i));
+            }
+            // A clone must not double-count the original's tally.
+            let clone = ch.clone();
+            drop(clone);
+        }
+        assert_eq!(packets_sent() - before, 37);
     }
 }

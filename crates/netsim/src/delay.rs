@@ -65,9 +65,16 @@ impl DelaySampler {
 
     /// Samples a one-way delay in ms for a packet sent at `t`.
     pub fn sample_ms(&self, t: SimTime, rng: &mut SmallRng) -> f64 {
-        let mean = self.mean_queue_ms(t);
+        self.sample_with_mean_ms(self.mean_queue_ms(t), rng)
+    }
+
+    /// Samples a one-way delay given a precomputed mean queueing delay.
+    /// The fast path caches [`DelaySampler::mean_queue_ms`] per epoch (it
+    /// walks the diurnal trig) and draws through this, which consumes the
+    /// RNG exactly like [`DelaySampler::sample_ms`].
+    pub fn sample_with_mean_ms(&self, mean_queue_ms: f64, rng: &mut SmallRng) -> f64 {
         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let q = (-mean * u.ln()).min(self.max_queue_ms);
+        let q = (-mean_queue_ms * u.ln()).min(self.max_queue_ms);
         self.base_ms + q
     }
 }

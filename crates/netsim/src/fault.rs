@@ -49,6 +49,27 @@ impl BlackoutSchedule {
         idx > 0 && t < self.windows[idx - 1].1
     }
 
+    /// The maximal segment `[lo, hi)` containing `t` on which membership is
+    /// constant, plus whether that segment is blacked out. The fast path in
+    /// [`crate::PathChannel`] caches the returned segment so steady-state
+    /// packets answer the blackout question with two comparisons while
+    /// staying *exact*: every window boundary starts a new segment, so the
+    /// cache can never smear a window edge across an epoch.
+    pub fn segment_at(&self, t: SimTime) -> (SimTime, SimTime, bool) {
+        let idx = self.windows.partition_point(|(s, _)| *s <= t);
+        if idx > 0 && t < self.windows[idx - 1].1 {
+            let (s, e) = self.windows[idx - 1];
+            return (s, e, true);
+        }
+        let lo = if idx > 0 {
+            self.windows[idx - 1].1
+        } else {
+            SimTime::EPOCH
+        };
+        let hi = self.windows.get(idx).map_or(SimTime::MAX, |(s, _)| *s);
+        (lo, hi, false)
+    }
+
     /// Number of windows.
     pub fn len(&self) -> usize {
         self.windows.len()
@@ -133,6 +154,26 @@ mod tests {
         assert!(!s.blacked_out(t(15))); // half-open
         assert!(s.blacked_out(t(21)));
         assert!(!s.blacked_out(t(23)));
+    }
+
+    #[test]
+    fn segments_partition_time_and_agree_with_membership() {
+        let s = BlackoutSchedule::new(vec![(t(10), t(15)), (t(20), t(22))]);
+        assert_eq!(s.segment_at(t(0)), (SimTime::EPOCH, t(10), false));
+        assert_eq!(s.segment_at(t(10)), (t(10), t(15), true));
+        assert_eq!(s.segment_at(t(14)), (t(10), t(15), true));
+        assert_eq!(s.segment_at(t(15)), (t(15), t(20), false)); // half-open
+        assert_eq!(s.segment_at(t(21)), (t(20), t(22), true));
+        assert_eq!(s.segment_at(t(30)), (t(22), SimTime::MAX, false));
+        // Empty schedule: one segment covering everything.
+        let e = BlackoutSchedule::none();
+        assert_eq!(e.segment_at(t(5)), (SimTime::EPOCH, SimTime::MAX, false));
+        // Segment flag must agree with blacked_out at every probe point.
+        for probe in 0..40 {
+            let (lo, hi, black) = s.segment_at(t(probe));
+            assert_eq!(black, s.blacked_out(t(probe)), "at {probe}");
+            assert!(lo <= t(probe) && t(probe) < hi, "at {probe}");
+        }
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use channel::{HopChannel, PathChannel, PathOutcome};
+pub use channel::{
+    packets_sent, HopChannel, PathChannel, PathOutcome, SendAt, SendMany, DEFAULT_EPOCH,
+};
 pub use delay::DelaySampler;
 pub use diurnal::DiurnalProfile;
 pub use engine::Engine;

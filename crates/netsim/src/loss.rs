@@ -321,6 +321,30 @@ impl LossProcess {
         p > 0.0 && self.rng.gen_bool(p.clamp(0.0, 1.0))
     }
 
+    /// Samples the geometric gap to the next loss for a span of packets
+    /// with constant per-packet loss probability `p`: the returned count is
+    /// how many packets *survive* before one is lost (0 means the next
+    /// packet is lost). Distributionally equivalent to drawing `gen_bool(p)`
+    /// per packet, at the cost of one `ln` per loss instead of one RNG
+    /// draw per packet. Because the geometric distribution is memoryless,
+    /// discarding an unexhausted gap and re-drawing (as the fast path does
+    /// at every epoch boundary) does not bias the loss rate.
+    pub fn gap_to_next_loss(&mut self, p: f64) -> u64 {
+        if p <= 0.0 {
+            return u64::MAX;
+        }
+        if p >= 1.0 {
+            return 0;
+        }
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = u.ln() / (1.0 - p).ln();
+        if gap >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            gap as u64
+        }
+    }
+
     /// The underlying model.
     pub fn model(&self) -> &LossModel {
         &self.model
@@ -460,6 +484,37 @@ mod tests {
         assert!((m.mean_rate() - expected).abs() < 1e-12);
         let r = sample_rate(m, 200_000, Dur::from_millis(1), 7);
         assert!((r - expected).abs() < 0.003, "rate {r}");
+    }
+
+    #[test]
+    fn gap_sampling_matches_bernoulli_rate() {
+        // Consuming geometric gaps must reproduce the per-packet rate.
+        for p in [0.001, 0.02, 0.3] {
+            let mut proc = LossProcess::new(LossModel::Bernoulli { p }, rng(8));
+            let n = 400_000u64;
+            let mut lost = 0u64;
+            let mut gap = proc.gap_to_next_loss(p);
+            for _ in 0..n {
+                if gap == 0 {
+                    lost += 1;
+                    gap = proc.gap_to_next_loss(p);
+                } else {
+                    gap -= 1;
+                }
+            }
+            let rate = lost as f64 / n as f64;
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!((rate - p).abs() < 6.0 * sigma + 1e-5, "p {p} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn gap_edge_cases() {
+        let mut proc = LossProcess::new(LossModel::None, rng(9));
+        assert_eq!(proc.gap_to_next_loss(0.0), u64::MAX);
+        assert_eq!(proc.gap_to_next_loss(-1.0), u64::MAX);
+        assert_eq!(proc.gap_to_next_loss(1.0), 0);
+        assert_eq!(proc.gap_to_next_loss(2.0), 0);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! must not perturb the draws of existing ones, so each stream's seed is a
 //! hash of `(master_seed, label)` rather than a draw from a shared RNG.
 
+use std::fmt;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -38,9 +40,35 @@ impl RngTree {
         splitmix64(h)
     }
 
+    /// Like [`RngTree::seed_for`], but hashes a `format_args!` label as it
+    /// renders instead of requiring a materialised `String` — the per-probe
+    /// hot paths derive thousands of flow seeds and must not allocate one
+    /// label each. Produces the identical seed to
+    /// `seed_for(&label.to_string())`.
+    pub fn seed_for_args(&self, label: fmt::Arguments<'_>) -> u64 {
+        struct Fnv(u64);
+        impl fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                for b in s.as_bytes() {
+                    self.0 ^= u64::from(*b);
+                    self.0 = self.0.wrapping_mul(0x100000001b3);
+                }
+                Ok(())
+            }
+        }
+        let mut h = Fnv(0xcbf29ce484222325 ^ self.master);
+        fmt::write(&mut h, label).expect("label formatting failed");
+        splitmix64(h.0)
+    }
+
     /// A fresh RNG for a labelled stream.
     pub fn stream(&self, label: &str) -> SmallRng {
         SmallRng::seed_from_u64(self.seed_for(label))
+    }
+
+    /// A fresh RNG for a `format_args!` label (see [`RngTree::seed_for_args`]).
+    pub fn stream_args(&self, label: fmt::Arguments<'_>) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed_for_args(label))
     }
 
     /// A fresh RNG for a labelled, indexed stream (e.g. per-link, per-host).
@@ -111,6 +139,25 @@ mod tests {
         }
         assert_eq!(seen.len(), 1000, "indexed streams must not collide");
         let _ = s0;
+    }
+
+    #[test]
+    fn args_seed_matches_string_seed() {
+        let t = RngTree::new(123);
+        for (a, b, c) in [(0u32, "x", true), (17, "hop:AS1", false), (9999, "", true)] {
+            let label = format!("flow:{a}:{b}:{c}");
+            assert_eq!(
+                t.seed_for(&label),
+                t.seed_for_args(format_args!("flow:{a}:{b}:{c}")),
+                "label {label}"
+            );
+        }
+        // Multi-fragment rendering (padding, positional args) hashes the
+        // rendered bytes, not the fragments.
+        assert_eq!(
+            t.seed_for("n=007"),
+            t.seed_for_args(format_args!("n={:03}", 7))
+        );
     }
 
     #[test]

@@ -118,6 +118,10 @@ impl SimTime {
     /// The simulation epoch (t = 0, midnight UTC).
     pub const EPOCH: SimTime = SimTime(0);
 
+    /// The far end of simulated time (used as an open upper bound for
+    /// cached segments that extend past every scheduled event).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// From raw nanoseconds since epoch.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)

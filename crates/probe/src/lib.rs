@@ -33,9 +33,9 @@ pub fn rtt_probe(
 ) -> RttProbe {
     let mut received = 0;
     let mut min_rtt: Option<f64> = None;
-    for i in 0..count {
-        let t = start + gap.mul(u64::from(i));
-        if let PathOutcome::Delivered { arrival, .. } = forward.send(t) {
+    let pings = (0..count).map(|i| start + gap.mul(u64::from(i)));
+    for (t, outcome) in forward.send_many(pings) {
+        if let PathOutcome::Delivered { arrival, .. } = outcome {
             if let PathOutcome::Delivered {
                 arrival: back_at, ..
             } = reverse.send(arrival)
@@ -99,9 +99,9 @@ pub fn loss_train(
 ) -> LossTrain {
     let spacing = Dur::from_micros(100);
     let mut lost = 0;
-    for i in 0..count {
-        let t = at + spacing.mul(u64::from(i));
-        match forward.send(t) {
+    let train = (0..count).map(|i| at + spacing.mul(u64::from(i)));
+    for (_, outcome) in forward.send_many(train) {
+        match outcome {
             PathOutcome::Lost { .. } => lost += 1,
             PathOutcome::Delivered { arrival, .. } => {
                 if !reverse.send(arrival).delivered() {

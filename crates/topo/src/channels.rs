@@ -19,6 +19,7 @@
 //!   because LTPs there also serve residences.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Mutex;
 
 use rand::rngs::SmallRng;
@@ -468,6 +469,15 @@ impl ChannelFactory {
     /// the flow's loss-process state and delay draws; reusing a label
     /// reproduces the identical packet fate sequence.
     pub fn channel(&self, path: &ResolvedPath, flow_label: &str) -> PathChannel {
+        self.channel_args(path, format_args!("{flow_label}"))
+    }
+
+    /// Like [`ChannelFactory::channel`], but takes the flow label as
+    /// `format_args!` so campaign hot paths (one channel per probe) derive
+    /// seeds without materialising a label `String`. Hash-compatible with
+    /// the `&str` form: `channel_args(p, format_args!("x"))` ==
+    /// `channel(p, "x")`.
+    pub fn channel_args(&self, path: &ResolvedPath, flow_label: fmt::Arguments<'_>) -> PathChannel {
         let mut hops = Vec::with_capacity(path.hops.len());
         for (i, hop) in path.hops.iter().enumerate() {
             let model = self.loss_model(hop);
@@ -475,7 +485,7 @@ impl ChannelFactory {
             let blackouts = self.blackouts(hop);
             let seed = self
                 .rng
-                .seed_for(&format!("flow:{flow_label}:hop{i}:{}", hop.label));
+                .seed_for_args(format_args!("flow:{flow_label}:hop{i}:{}", hop.label));
             hops.push(HopChannel {
                 loss: LossProcess::new(model, SmallRng::seed_from_u64(seed)),
                 delay,
@@ -483,7 +493,7 @@ impl ChannelFactory {
                 label: hop.label.clone(),
             });
         }
-        let rng = self.rng.stream(&format!("flowdelay:{flow_label}"));
+        let rng = self.rng.stream_args(format_args!("flowdelay:{flow_label}"));
         PathChannel::new(hops, rng)
     }
 }

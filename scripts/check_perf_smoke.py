@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf-smoke ledger against the committed baseline.
+
+Usage: check_perf_smoke.py BASELINE.json CANDIDATE.json [MAX_RATIO]
+
+Both files are `vns-bench` BENCH_campaigns.json ledgers from the same
+command and scale. Wall time is normalised by thread count (cost =
+total_wall_s * threads) so a runner with a different --threads setting
+still compares; the check fails when the candidate costs more than
+MAX_RATIO (default 1.25) times the baseline. CI wall clocks are noisy, so
+the threshold is deliberately loose — this catches order-of-magnitude
+regressions (e.g. losing the fast path), not percent-level drift.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    candidate = load(sys.argv[2])
+    max_ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 1.25
+
+    for key in ("cmd", "seed", "scale"):
+        if baseline.get(key) != candidate.get(key):
+            sys.exit(
+                f"ledgers are not comparable: {key} differs "
+                f"({baseline.get(key)!r} vs {candidate.get(key)!r})"
+            )
+
+    base_cost = baseline["total_wall_s"] * max(baseline["threads"], 1)
+    cand_cost = candidate["total_wall_s"] * max(candidate["threads"], 1)
+    ratio = cand_cost / base_cost if base_cost > 0 else float("inf")
+
+    print(
+        f"baseline: {baseline['total_wall_s']:.1f}s x {baseline['threads']} threads"
+        f" = {base_cost:.1f} thread-seconds"
+    )
+    print(
+        f"candidate: {candidate['total_wall_s']:.1f}s x {candidate['threads']} threads"
+        f" = {cand_cost:.1f} thread-seconds"
+    )
+    print(f"ratio: {ratio:.2f} (limit {max_ratio:.2f})")
+
+    slowest = sorted(
+        candidate["experiments"], key=lambda e: e["wall_s"], reverse=True
+    )[:5]
+    for e in slowest:
+        print(
+            f"  {e['name']}: {e['wall_s']:.1f}s, {e['packets']} packets"
+            f" ({e['packets_per_s']:.0f}/s)"
+        )
+
+    if ratio > max_ratio:
+        sys.exit(f"perf smoke FAILED: {ratio:.2f} > {max_ratio:.2f}")
+    print("perf smoke OK")
+
+
+if __name__ == "__main__":
+    main()
