@@ -19,8 +19,10 @@
 //! (default: all hardware threads; `--threads 1` is the sequential path).
 //! Output artefacts are byte-identical at any thread count — the thread
 //! count only moves wall-clock, which is recorded per experiment in
-//! `BENCH_campaigns.json` (written next to the artefacts, or the working
-//! directory without `--out`).
+//! `BENCH_campaigns.json` (written next to the artefacts with `--out`;
+//! without it, only a full baseline run — `all` at scale 1 — takes that
+//! name in the working directory, anything else writes
+//! `BENCH_campaigns.local.json` so the committed baseline stays intact).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -173,19 +175,40 @@ fn campaigns_json(opts: &Opts, par: Par, records: &[ExpRecord], total_s: f64) ->
     s
 }
 
-/// Writes `BENCH_campaigns.json` to `--out` (or the working directory).
+/// Writes the perf ledger to `--out`, or the working directory without it.
+///
+/// Without `--out` the working directory is typically the repo root, where
+/// `BENCH_campaigns.json` is the committed full-campaign baseline that the
+/// CI perf gate compares against. Only a run with the baseline's shape
+/// (`all` at scale 1) may take that name; anything else — a single
+/// experiment, a reduced scale — lands in `BENCH_campaigns.local.json`
+/// (gitignored) so scratch runs cannot clobber the baseline.
 fn write_campaigns(
     opts: &Opts,
     par: Par,
     records: &[ExpRecord],
     total_s: f64,
 ) -> Result<(), String> {
-    let dir = opts
-        .out
-        .clone()
-        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let (dir, name) = match opts.out.clone() {
+        Some(dir) => (dir, "BENCH_campaigns.json"),
+        None if opts.cmd == "all" && opts.scale == 1.0 => {
+            (std::path::PathBuf::from("."), "BENCH_campaigns.json")
+        }
+        None => {
+            eprintln!(
+                "note: not a full baseline run (cmd {}, scale {}); writing \
+                 BENCH_campaigns.local.json — pass --out DIR to name it \
+                 BENCH_campaigns.json elsewhere",
+                opts.cmd, opts.scale
+            );
+            (
+                std::path::PathBuf::from("."),
+                "BENCH_campaigns.local.json",
+            )
+        }
+    };
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    let path = dir.join("BENCH_campaigns.json");
+    let path = dir.join(name);
     std::fs::write(&path, campaigns_json(opts, par, records, total_s))
         .map_err(|e| format!("{}: {e}", path.display()))?;
     eprintln!("wrote {}", path.display());
