@@ -28,9 +28,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use vns_bench::experiments::{
-    ablate, congruence, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig9, jitter, table1,
+    ablate, congruence, failover, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig9, jitter,
+    table1,
 };
-use vns_bench::World;
+use vns_bench::{World, WorldConfig};
 use vns_netsim::{Dur, Par};
 
 #[derive(Debug, Clone)]
@@ -107,7 +108,7 @@ fn parse_args() -> Result<Opts, String> {
 
 const USAGE: &str = "usage: vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] [--threads N] [--out DIR] <experiment>\n\
 experiments: fig3 as-congruence fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 table1 jitter\n\
-             ablate-lp ablate-best-external ablate-geoip ablate-fec ablate-l2 ablate-mode\n\
+             failover ablate-lp ablate-best-external ablate-geoip ablate-fec ablate-l2 ablate-mode\n\
              ablate-measurement ablate-auto-override economics setup-time all\n\
 --threads 0 (default) uses every hardware thread; artefacts are byte-identical at any count";
 
@@ -201,10 +202,7 @@ fn write_campaigns(
                  BENCH_campaigns.json elsewhere",
                 opts.cmd, opts.scale
             );
-            (
-                std::path::PathBuf::from("."),
-                "BENCH_campaigns.local.json",
-            )
+            (std::path::PathBuf::from("."), "BENCH_campaigns.local.json")
         }
     };
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
@@ -318,6 +316,17 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
                 )
             });
             emit(opts, cmd, table1::run(&data).to_string())?;
+        }
+        "failover" => {
+            // Every scenario mutates its own world, so only the shared
+            // config crosses into the parallel units.
+            let cfg = WorldConfig {
+                seed: opts.seed,
+                scale: opts.scale,
+                ..WorldConfig::default()
+            };
+            let r = timed(rec, "failover", || failover::run(&cfg, par));
+            emit(opts, cmd, r.to_string())?;
         }
         "jitter" => {
             let w = World::geo(opts.seed, opts.scale);
@@ -446,6 +455,10 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
                     opts.sessions.min(20),
                     par
                 ))
+            );
+            println!(
+                "{}",
+                timed(rec, "failover", || failover::run(&w.config, par))
             );
             println!(
                 "{}",

@@ -1,0 +1,561 @@
+//! Failover — scripted control-plane faults and reconvergence measurement.
+//!
+//! The paper's network keeps calls alive because its resilience mechanisms
+//! — meshed regional clusters, redundant long-haul circuits, paired
+//! geo route reflectors, best-external on borders (Secs 2–3) — absorb
+//! failures the best-effort Internet cannot. This campaign exercises
+//! exactly those mechanisms: from a converged world it injects scripted
+//! [`FaultEvent`]s (long-haul circuit cut, egress border-router loss, geo
+//! route-reflector failover, flapping eBGP session), re-runs the BGP
+//! engine incrementally after each event, and measures three planes at
+//! once:
+//!
+//! * **control plane** — activations and messages per event
+//!   ([`vns_bgp::ConvergenceStats`]), plus a [`BgpNet::is_quiescent`]
+//!   check so a torn RIB is never silently measured;
+//! * **data plane** — monitored client→echo flows are re-resolved across
+//!   the routing epoch and an in-flight HD session is replayed over the
+//!   pre→post path swap, yielding the outage window, packets lost during
+//!   reconvergence, and post-failure path stretch vs. the geo-optimal
+//!   pre-failure exit;
+//! * **invariants** — the vns-verify suite re-runs on the post-event RIBs,
+//!   scoped to the surviving topology (`verify_scoped`), so GEO-PREF /
+//!   HIDDEN-ROUTE / VALLEY-FREE / NEXT-HOP must still hold mid-incident.
+//!
+//! ## Reconvergence-time model
+//!
+//! The simulator's control plane is event-stepped, not wall-clocked, so
+//! the outage window is derived from a deterministic timing model:
+//! failure detection takes [`DETECTION_MS`] (BFD-style fast detection on
+//! dedicated circuits/sessions — 3 × 100 ms intervals), and each BGP
+//! message delivered during reconvergence costs [`PER_MSG_MS`] of
+//! serialized propagation/processing. Restorative events (session/router/
+//! circuit up) converge make-before-break: the old path keeps forwarding
+//! while the new state propagates, so their modeled outage is zero and
+//! only the measured swap gap applies.
+//!
+//! Each scenario is one parallel work unit that builds its own world from
+//! the shared [`WorldConfig`] — a pure function of the master seed — so
+//! artefacts are byte-identical at any `--threads N`.
+
+use std::fmt;
+
+use vns_bgp::ConvergenceStats;
+use vns_core::{FaultEvent, FaultInjector, FaultPlan, PopId};
+use vns_media::VideoSpec;
+use vns_netsim::{Dur, Par, RngTree, SimTime};
+use vns_topo::ResolvedPath;
+use vns_verify::{verify_scoped, VerifyScope};
+
+use crate::campaign::{assert_control_plane, channel_pair_args};
+use crate::world::{World, WorldConfig};
+
+/// Modeled failure-detection delay, ms (BFD-style: 3 × 100 ms).
+pub const DETECTION_MS: f64 = 300.0;
+
+/// Modeled serialized cost per delivered BGP message, ms.
+pub const PER_MSG_MS: f64 = 1.0;
+
+/// Replayed session length. Long enough to observe the full outage window
+/// and post-swap recovery at ~427 packets/s without fig9-scale cost.
+const SESSION: Dur = Dur::from_secs(30);
+
+/// Event injection time, relative to session start.
+const EVENT_AT: Dur = Dur::from_secs(10);
+
+/// Monitored clients (the paper's three plotted vantage PoPs).
+const CLIENTS: [(&str, u8); 3] = [("AMS", 9), ("SJS", 1), ("SYD", 11)];
+
+/// The scripted scenarios, in artefact order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScenarioKind {
+    /// Geo route-reflector loss and recovery (RR redundancy).
+    RrFailover,
+    /// Egress PoP border-router loss and recovery (best-external +
+    /// intra-PoP pairing).
+    PopBorderLoss,
+    /// Long-haul inter-cluster circuit cut and repair (cluster meshing).
+    LonghaulCut,
+    /// Primary upstream eBGP session cut and restore.
+    UpstreamCut,
+    /// Flapping eBGP session (3 cut/restore cycles).
+    EbgpFlap,
+}
+
+const SCENARIOS: [ScenarioKind; 5] = [
+    ScenarioKind::RrFailover,
+    ScenarioKind::PopBorderLoss,
+    ScenarioKind::LonghaulCut,
+    ScenarioKind::UpstreamCut,
+    ScenarioKind::EbgpFlap,
+];
+
+impl ScenarioKind {
+    /// Expands into a concrete [`FaultPlan`] against a built world.
+    fn plan(self, world: &World) -> FaultPlan {
+        let vns = &world.vns;
+        match self {
+            ScenarioKind::RrFailover => {
+                let [rr0, _] = vns.reflectors();
+                FaultPlan::router_blip("rr-failover", rr0)
+            }
+            ScenarioKind::PopBorderLoss => {
+                // SIN's first border: the Asia-Pacific egress every
+                // monitored AP flow crosses.
+                let border = vns.pop(PopId(7)).borders[0];
+                FaultPlan::router_blip("pop-border-loss", border)
+            }
+            ScenarioKind::LonghaulCut => {
+                // The SIN=AMS long-haul circuit (an INTER_CLUSTER_LINKS
+                // member joining the AP and EU clusters).
+                let a = vns.pop(PopId(7)).borders[0];
+                let b = vns.pop(PopId(9)).borders[0];
+                FaultPlan::circuit_blip("longhaul-cut", a, b)
+            }
+            ScenarioKind::UpstreamCut => {
+                let pop = PopId(9); // AMS
+                let border = vns.pop(pop).borders[0];
+                let (up_as, up_city) = vns.primary_upstream(pop);
+                let upstream = world
+                    .internet
+                    .router_of(up_as, up_city)
+                    .expect("upstream router exists");
+                FaultPlan::new(
+                    "upstream-cut",
+                    vec![
+                        FaultEvent::SessionCut {
+                            a: border,
+                            b: upstream,
+                        },
+                        FaultEvent::SessionRestore {
+                            a: border,
+                            b: upstream,
+                        },
+                    ],
+                )
+            }
+            ScenarioKind::EbgpFlap => {
+                let pop = PopId(1); // SJS
+                let border = vns.pop(pop).borders[0];
+                let (up_as, up_city) = vns.primary_upstream(pop);
+                let upstream = world
+                    .internet
+                    .router_of(up_as, up_city)
+                    .expect("upstream router exists");
+                FaultPlan::session_flap("ebgp-flap", border, upstream, 3)
+            }
+        }
+    }
+}
+
+/// One monitored client→echo flow.
+#[derive(Debug, Clone)]
+struct FlowSpec {
+    /// `"AMS->SIN"`-style label.
+    label: String,
+    /// Client PoP.
+    client: PopId,
+    /// Echo server address.
+    addr: u32,
+}
+
+/// Data-plane impact on one monitored flow for one event.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// `"AMS->SIN"`-style flow label.
+    pub label: String,
+    /// The flow's forwarding path changed across the event.
+    pub rerouted: bool,
+    /// The pre-event path crossed the failed element (traffic blackholed
+    /// until reconvergence).
+    pub hit: bool,
+    /// Outage window, ms: first post-event round-trip delivery minus the
+    /// event time. Zero for untouched flows.
+    pub outage_ms: f64,
+    /// Packets lost in the reconvergence window.
+    pub lost_packets: u32,
+    /// Pre-event path length, km (the geo-optimal reference).
+    pub pre_km: f64,
+    /// Post-event path length, km (`None` when the flow lost all routes).
+    pub post_km: Option<f64>,
+}
+
+impl FlowOutcome {
+    /// Post-failure path stretch vs. the geo-optimal pre-failure path.
+    pub fn stretch(&self) -> Option<f64> {
+        let post = self.post_km?;
+        (self.pre_km > 0.0).then(|| post / self.pre_km)
+    }
+}
+
+/// Everything measured for one scripted event.
+#[derive(Debug, Clone)]
+pub struct EventOutcome {
+    /// The event, rendered (`"router-down R42"`).
+    pub event: String,
+    /// Control-plane reconvergence cost.
+    pub stats: ConvergenceStats,
+    /// The net reached true quiescence after the event (always required;
+    /// a torn net panics the driver instead of being recorded).
+    pub quiescent: bool,
+    /// Modeled reconvergence time, ms (detection + per-message cost).
+    pub conv_ms: f64,
+    /// Error-severity invariant violations on the post-event RIBs
+    /// (scoped to the surviving topology).
+    pub verify_errors: usize,
+    /// Warning-severity findings, same scope.
+    pub verify_warnings: usize,
+    /// Flows whose path changed or which crossed the failed element;
+    /// untouched flows are counted in `flows_monitored` only.
+    pub affected: Vec<FlowOutcome>,
+    /// Total monitored flows.
+    pub flows_monitored: usize,
+}
+
+/// One scenario's measured steps.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name (stable artefact/RNG key).
+    pub name: String,
+    /// Per-event measurements in script order.
+    pub steps: Vec<EventOutcome>,
+}
+
+/// The failover campaign artefact.
+#[derive(Debug, Clone)]
+pub struct Failover {
+    /// Scenario outcomes in canonical order.
+    pub scenarios: Vec<ScenarioOutcome>,
+}
+
+/// Runs every scripted scenario, one parallel unit each. Each unit builds
+/// a fresh world from `config` (a pure function of the master seed),
+/// injects its plan step by step, and measures control plane, data plane
+/// and invariants after every step.
+pub fn run(config: &WorldConfig, par: Par) -> Failover {
+    let scenarios = par.map(&SCENARIOS, |_, &kind| run_scenario(config, kind));
+    Failover { scenarios }
+}
+
+/// Modeled reconvergence time for one event, ms. Failure events pay the
+/// detection delay; restorative events converge make-before-break.
+fn convergence_ms(event: FaultEvent, stats: &ConvergenceStats) -> f64 {
+    let detection = match event {
+        FaultEvent::SessionCut { .. }
+        | FaultEvent::RouterDown { .. }
+        | FaultEvent::CircuitCut { .. } => DETECTION_MS,
+        FaultEvent::SessionRestore { .. }
+        | FaultEvent::RouterUp { .. }
+        | FaultEvent::CircuitRestore { .. } => 0.0,
+    };
+    detection + stats.messages as f64 * PER_MSG_MS
+}
+
+/// Whether a resolved path crosses the failed element of `event`.
+fn path_hit(path: &ResolvedPath, event: FaultEvent) -> bool {
+    match event {
+        FaultEvent::RouterDown { router } => path.routers.contains(&router),
+        FaultEvent::SessionCut { a, b } | FaultEvent::CircuitCut { a, b } => path
+            .routers
+            .windows(2)
+            .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a)),
+        FaultEvent::SessionRestore { .. }
+        | FaultEvent::RouterUp { .. }
+        | FaultEvent::CircuitRestore { .. } => false,
+    }
+}
+
+fn monitor_flows(world: &World) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for (code, id) in CLIENTS {
+        for echo in world.vns.echo_servers() {
+            if echo.pop == PopId(id) {
+                continue; // co-located: no long-haul path to disturb
+            }
+            flows.push(FlowSpec {
+                label: format!("{code}->{}", world.vns.pop(echo.pop).spec.code),
+                client: PopId(id),
+                addr: echo.address(),
+            });
+        }
+    }
+    flows
+}
+
+fn run_scenario(config: &WorldConfig, kind: ScenarioKind) -> ScenarioOutcome {
+    let mut world = World::build(config.clone());
+    assert_control_plane(&world);
+    let plan = kind.plan(&world);
+    let flows = monitor_flows(&world);
+    let tree = RngTree::new(config.seed)
+        .subtree("failover")
+        .subtree(&plan.name);
+    let mut inj = FaultInjector::new();
+    let mut steps = Vec::with_capacity(plan.steps.len());
+
+    for (step_idx, &event) in plan.steps.iter().enumerate() {
+        let pre: Vec<Option<ResolvedPath>> = flows
+            .iter()
+            .map(|f| {
+                world
+                    .vns
+                    .path_via_vns(&world.internet, f.client, f.addr)
+                    .ok()
+            })
+            .collect();
+
+        inj.apply(&mut world.internet, &world.vns, event)
+            .expect("scripted event applies");
+        let stats = world
+            .internet
+            .net
+            .run(world.vns.message_budget())
+            .expect("reconverges within budget");
+        let quiescent = world.internet.net.is_quiescent();
+        assert!(
+            quiescent,
+            "{}: step {step_idx} ({event}) left the net torn",
+            plan.name
+        );
+
+        let scope = VerifyScope::with_dead_routers(inj.dead_routers());
+        let report = verify_scoped(&world.internet, &world.vns, &scope);
+        let conv_ms = convergence_ms(event, &stats);
+
+        let mut affected = Vec::new();
+        for (fi, (flow, pre_path)) in flows.iter().zip(&pre).enumerate() {
+            let Some(pre_path) = pre_path else { continue };
+            let post_path = world
+                .vns
+                .path_via_vns(&world.internet, flow.client, flow.addr)
+                .ok();
+            let hit = path_hit(pre_path, event);
+            let rerouted = post_path
+                .as_ref()
+                .is_none_or(|p| p.routers != pre_path.routers);
+            if !hit && !rerouted {
+                continue;
+            }
+            let mut rng = tree.stream_args(format_args!("flow:{step_idx}:{fi}"));
+            affected.push(replay_flow(
+                &world,
+                flow,
+                pre_path,
+                post_path.as_ref(),
+                hit,
+                conv_ms,
+                &mut rng,
+                &plan.name,
+                step_idx,
+            ));
+        }
+
+        steps.push(EventOutcome {
+            event: event.to_string(),
+            stats,
+            quiescent,
+            conv_ms,
+            verify_errors: report.error_count(),
+            verify_warnings: report.warning_count(),
+            affected,
+            flows_monitored: flows.len(),
+        });
+    }
+
+    ScenarioOutcome {
+        name: plan.name,
+        steps,
+    }
+}
+
+/// Replays an in-flight HD session across the pre→post path swap.
+///
+/// Packets sent before the event ride the pre-event path. During the
+/// modeled reconvergence window, packets on a flow that crossed the
+/// failed element are blackholed; an unaffected-but-rerouting flow keeps
+/// using its (still valid) old path. After the window, packets ride the
+/// post-event path. The outage window is measured, not assumed: the send
+/// time of the first packet delivered round-trip after the event, minus
+/// the event time.
+#[allow(clippy::too_many_arguments)] // measurement context, not an API
+fn replay_flow(
+    world: &World,
+    flow: &FlowSpec,
+    pre: &ResolvedPath,
+    post: Option<&ResolvedPath>,
+    hit: bool,
+    conv_ms: f64,
+    rng: &mut rand::rngs::SmallRng,
+    scenario: &str,
+    step_idx: usize,
+) -> FlowOutcome {
+    let t0 = SimTime::EPOCH + Dur::from_hours(6);
+    let t_event = t0 + EVENT_AT;
+    let t_swap = t_event + Dur::from_millis_f64(conv_ms);
+    let session_end = t0 + SESSION;
+
+    let (mut pre_fwd, mut pre_rev) = channel_pair_args(
+        world,
+        pre,
+        format_args!("fo:{scenario}:{step_idx}:{}:pre", flow.label),
+    );
+    let mut post_pair = post.map(|p| {
+        channel_pair_args(
+            world,
+            p,
+            format_args!("fo:{scenario}:{step_idx}:{}:post", flow.label),
+        )
+    });
+
+    let mut lost_packets = 0u32;
+    let mut first_ok_after: Option<SimTime> = None;
+    for pkt in VideoSpec::HD1080.packets(t0, SESSION, rng) {
+        let before_event = pkt.sent < t_event;
+        let in_window = !before_event && pkt.sent < t_swap;
+        if in_window && hit {
+            lost_packets += 1;
+            continue;
+        }
+        let pair = if before_event || in_window {
+            Some((&mut pre_fwd, &mut pre_rev))
+        } else {
+            post_pair.as_mut().map(|(f, r)| (&mut *f, &mut *r))
+        };
+        let Some((fwd, rev)) = pair else {
+            // Post-event with no route at all: everything from the event
+            // onwards is lost.
+            lost_packets += 1;
+            continue;
+        };
+        let round_trip = match fwd.send(pkt.sent) {
+            vns_netsim::PathOutcome::Delivered { arrival, .. } => {
+                matches!(rev.send(arrival), vns_netsim::PathOutcome::Delivered { .. })
+            }
+            vns_netsim::PathOutcome::Lost { .. } => false,
+        };
+        if !before_event {
+            if round_trip {
+                first_ok_after.get_or_insert(pkt.sent);
+            } else if in_window {
+                lost_packets += 1;
+            }
+        }
+    }
+
+    let outage_ms = match first_ok_after {
+        Some(t) => (t - t_event).as_millis_f64(),
+        // Nothing came back after the event: the outage spans the rest of
+        // the session.
+        None => (session_end - t_event).as_millis_f64(),
+    };
+    FlowOutcome {
+        label: flow.label.clone(),
+        rerouted: post.is_none_or(|p| p.routers != pre.routers),
+        hit,
+        outage_ms,
+        lost_packets,
+        pre_km: pre.total_km(),
+        post_km: post.map(ResolvedPath::total_km),
+    }
+}
+
+impl Failover {
+    /// Total BGP messages across every scenario step.
+    pub fn total_messages(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .flat_map(|s| &s.steps)
+            .map(|e| e.stats.messages)
+            .sum()
+    }
+
+    /// Largest measured outage window, ms.
+    pub fn max_outage_ms(&self) -> f64 {
+        self.scenarios
+            .iter()
+            .flat_map(|s| &s.steps)
+            .flat_map(|e| &e.affected)
+            .map(|f| f.outage_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every step passed the scoped invariant suite.
+    pub fn all_verified(&self) -> bool {
+        self.scenarios
+            .iter()
+            .flat_map(|s| &s.steps)
+            .all(|e| e.verify_errors == 0)
+    }
+
+    /// A named scenario's outcome.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioOutcome> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+impl fmt::Display for Failover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Failover: scripted control-plane faults, incremental reconvergence"
+        )?;
+        writeln!(
+            f,
+            "(detection {DETECTION_MS:.0} ms + {PER_MSG_MS:.1} ms/msg; \
+             restores are make-before-break)"
+        )?;
+        for sc in &self.scenarios {
+            writeln!(f, "\nscenario {}:", sc.name)?;
+            for (i, step) in sc.steps.iter().enumerate() {
+                writeln!(
+                    f,
+                    "  step {i}: {} | {} msgs, {} activations | conv {:.1} ms \
+                     | verify {}E/{}W | {}/{} flows affected",
+                    step.event,
+                    step.stats.messages,
+                    step.stats.activations,
+                    step.conv_ms,
+                    step.verify_errors,
+                    step.verify_warnings,
+                    step.affected.len(),
+                    step.flows_monitored,
+                )?;
+                for flow in &step.affected {
+                    let post = flow
+                        .post_km
+                        .map_or_else(|| "unroutable".to_string(), |km| format!("{km:.0} km"));
+                    let stretch = flow
+                        .stretch()
+                        .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
+                    writeln!(
+                        f,
+                        "    {} {}: outage {:.1} ms, lost {}, path {:.0} km -> {} (stretch {})",
+                        flow.label,
+                        match (flow.hit, flow.rerouted) {
+                            (true, _) => "blackholed",
+                            (false, true) => "rerouted",
+                            (false, false) => "touched",
+                        },
+                        flow.outage_ms,
+                        flow.lost_packets,
+                        flow.pre_km,
+                        post,
+                        stretch,
+                    )?;
+                }
+            }
+        }
+        writeln!(
+            f,
+            "\nsummary: {} reconvergence messages, max outage {:.1} ms, \
+             invariants post-event: {}",
+            self.total_messages(),
+            self.max_outage_ms(),
+            if self.all_verified() {
+                "clean"
+            } else {
+                "VIOLATED"
+            }
+        )
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod ablate;
 pub mod congruence;
+pub mod failover;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

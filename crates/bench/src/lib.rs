@@ -24,6 +24,7 @@
 //! | [`experiments::table1`] | Table 1 — last-mile loss by AS type/region |
 //! | [`experiments::jitter`] | Sec 5.1.1 — jitter percentiles |
 //! | [`experiments::ablate`] | beyond-paper ablations (lp shape, best-external, GeoIP errors, FEC/ARQ, L2 topology) |
+//! | [`experiments::failover`] | beyond-paper failure & reconvergence campaign (link/PoP/RR faults, outage windows) |
 
 pub mod campaign;
 pub mod experiments;

@@ -8,7 +8,7 @@
 //! `vns-bench` prints and writes with `--out`) at `--threads 1` and
 //! `--threads 8` from freshly built worlds and compares the strings.
 
-use vns_bench::experiments::{fig10, fig11, fig3, fig9, table1};
+use vns_bench::experiments::{failover, fig10, fig11, fig3, fig9, table1};
 use vns_bench::{World, WorldConfig};
 use vns_netsim::{Dur, Par};
 
@@ -75,6 +75,45 @@ fn table1_artefact_is_byte_identical_across_thread_counts() {
         let data = fig11::run_campaign(w, 3, Dur::from_mins(60), Dur::from_hours(12), par);
         table1::run(&data).to_string()
     });
+}
+
+#[test]
+fn failover_artefact_is_byte_identical_across_thread_counts() {
+    // Failover units each mutate their own world built from the shared
+    // config, so this also pins the incremental-reconvergence engine
+    // (disconnect/reconnect, fault injection, scoped verify) across
+    // thread counts.
+    assert_identical("failover", |w, par| {
+        failover::run(&w.config, par).to_string()
+    });
+}
+
+#[test]
+fn rr_failover_reconverges_clean_with_bounded_outage() {
+    // The acceptance scenario: a route-reflector failover must reconverge
+    // to quiescence with zero scoped-verify violations, and no monitored
+    // flow's outage window may exceed a sane bound.
+    let w = tiny_world();
+    let result = failover::run(&w.config, Par::seq());
+    let rr = result.scenario("rr-failover").expect("scenario present");
+    assert!(!rr.steps.is_empty());
+    for step in &rr.steps {
+        assert!(step.quiescent, "{}: not quiescent", step.event);
+        assert_eq!(step.verify_errors, 0, "{}: verify errors", step.event);
+    }
+    // RR loss is control-plane only: the redundant reflector keeps every
+    // data path alive (the paper's Sec 3.2 fn. 1 redundancy claim).
+    assert!(
+        rr.steps[0].affected.is_empty(),
+        "RR failover perturbed data paths: {:?}",
+        rr.steps[0].affected
+    );
+    assert!(result.all_verified());
+    let max_outage = result.max_outage_ms();
+    assert!(
+        max_outage < 30_000.0,
+        "unbounded outage window: {max_outage} ms"
+    );
 }
 
 #[test]

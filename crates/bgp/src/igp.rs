@@ -33,6 +33,28 @@ impl IgpGraph {
         self.adj.entry(b).or_default().push((a, cost));
     }
 
+    /// Removes the undirected link between `a` and `b`, returning its cost
+    /// (`None` when no such link exists). Parallel links are all removed;
+    /// the first cost is returned. Models a circuit cut — the nodes stay
+    /// in the graph and may become unreachable.
+    pub fn remove_link(&mut self, a: SpeakerId, b: SpeakerId) -> Option<u64> {
+        let mut cost = None;
+        if let Some(nbrs) = self.adj.get_mut(&a) {
+            nbrs.retain(|&(v, c)| {
+                if v == b {
+                    cost.get_or_insert(c);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if let Some(nbrs) = self.adj.get_mut(&b) {
+            nbrs.retain(|&(v, _)| v != a);
+        }
+        cost
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.adj.len()
@@ -155,6 +177,17 @@ mod tests {
         assert!(!g.shortest_costs(s(1)).contains_key(&s(99)));
         assert!(g.shortest_path(s(1), s(99)).is_none());
         assert!(g.shortest_costs(s(100)).is_empty());
+    }
+
+    #[test]
+    fn remove_link_cuts_and_returns_cost() {
+        let mut g = diamond();
+        assert_eq!(g.remove_link(s(2), s(4)), Some(3));
+        assert_eq!(g.remove_link(s(2), s(4)), None);
+        // 1 now reaches 4 only via the long way round.
+        assert_eq!(g.shortest_costs(s(1))[&s(4)], 11);
+        g.add_link(s(2), s(4), 3);
+        assert_eq!(g.shortest_costs(s(1))[&s(4)], 5);
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub struct BgpNet {
     speakers: BTreeMap<SpeakerId, Speaker>,
     inboxes: BTreeMap<SpeakerId, VecDeque<(SpeakerId, Message)>>,
     active: BTreeSet<SpeakerId>,
+    /// Latched when a [`BgpNet::run`] aborted on budget exhaustion: the
+    /// aborting speaker's remaining outgoing batch was dropped, so RIBs may
+    /// be inconsistent in ways that `active`/inbox emptiness cannot reveal.
+    torn: bool,
 }
 
 impl BgpNet {
@@ -162,6 +166,29 @@ impl BgpNet {
         }
     }
 
+    /// Re-establishes a previously [`BgpNet::disconnect`]ed session using
+    /// the captured per-side configs (capture them with
+    /// [`Speaker::peer_config`] before tearing the session down).
+    ///
+    /// Besides wiring the configs back up, both endpoints schedule a full
+    /// re-advertisement: teardown cleared the Adj-RIB-Out fingerprints for
+    /// the lost peer, so the fresh session receives the whole table while
+    /// established peers diff every re-export to a no-op. This models BGP
+    /// session establishment without the refresh-storm of poisoning every
+    /// fingerprint on the speaker.
+    ///
+    /// # Panics
+    /// Panics when either speaker is missing or the kinds are inconsistent,
+    /// exactly like [`BgpNet::connect`].
+    pub fn reconnect(&mut self, a: SpeakerId, a_cfg: PeerConfig, b: SpeakerId, b_cfg: PeerConfig) {
+        self.connect(a, a_cfg, b, b_cfg);
+        for id in [a, b] {
+            let sp = self.speakers.get_mut(&id).expect("speaker exists");
+            sp.schedule_initial_advertisement();
+            self.active.insert(id);
+        }
+    }
+
     /// Originates a prefix at a speaker and schedules propagation.
     pub fn originate(&mut self, at: SpeakerId, prefix: Prefix) {
         self.speakers
@@ -171,7 +198,34 @@ impl BgpNet {
         self.active.insert(at);
     }
 
+    /// True when the network holds no unprocessed work *and* no prior run
+    /// aborted mid-flight: the activation queue is empty, every inbox is
+    /// drained, no speaker has dirty prefixes, and no earlier
+    /// [`BgpNet::run`] returned [`ConvergenceError::BudgetExhausted`].
+    ///
+    /// The last condition matters because budget exhaustion aborts
+    /// mid-batch — the aborting speaker's undelivered messages are dropped
+    /// outright, so its peers can hold stale routes even once the visible
+    /// queues look empty. Measurement drivers must check this before
+    /// trusting RIB contents after an incremental reconvergence.
+    pub fn is_quiescent(&self) -> bool {
+        !self.torn
+            && self.active.is_empty()
+            && self.inboxes.values().all(VecDeque::is_empty)
+            && self.speakers.values().all(|s| !s.has_pending_work())
+    }
+
     /// Runs to quiescence. `message_budget` bounds total deliveries.
+    ///
+    /// # Half-converged state on failure
+    /// Returning [`ConvergenceError::BudgetExhausted`] leaves the network
+    /// torn: `active` is non-empty, inboxes are partially drained, and —
+    /// worse — the remainder of the aborting speaker's outgoing batch is
+    /// dropped, so neighbours never learn updates that the speaker's own
+    /// RIB already reflects. The tear is latched (see
+    /// [`BgpNet::is_quiescent`]); RIB-derived measurements must not trust
+    /// a net in this state. Recovery requires rebuilding the world (there
+    /// is no incremental un-tear).
     pub fn run(&mut self, message_budget: u64) -> Result<ConvergenceStats, ConvergenceError> {
         let mut stats = ConvergenceStats::default();
         // Any speaker with local state changes starts active.
@@ -192,6 +246,7 @@ impl BgpNet {
             for (to, msg) in outgoing {
                 stats.messages += 1;
                 if stats.messages > message_budget {
+                    self.torn = true;
                     return Err(ConvergenceError::BudgetExhausted {
                         messages: stats.messages,
                     });
@@ -451,6 +506,51 @@ mod tests {
         net.originate(SpeakerId(1), p("10.1.0.0/16"));
         let err = net.run(1).unwrap_err();
         assert!(matches!(err, ConvergenceError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn quiescence_tracks_runs() {
+        let mut net = chain();
+        net.originate(SpeakerId(1), p("10.1.0.0/16"));
+        assert!(!net.is_quiescent(), "pending origination is visible work");
+        net.run(10_000).unwrap();
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn budget_exhaustion_latches_torn_state() {
+        let mut net = chain();
+        net.originate(SpeakerId(1), p("10.1.0.0/16"));
+        net.run(1).unwrap_err();
+        // Even after draining the rest of the work, the aborted batch means
+        // the net can never be trusted as quiescent again.
+        let _ = net.run(10_000);
+        assert!(!net.is_quiescent());
+    }
+
+    #[test]
+    fn reconnect_restores_withdrawn_routes() {
+        let mut net = chain();
+        net.originate(SpeakerId(1), p("10.1.0.0/16"));
+        net.run(10_000).unwrap();
+        let cfg12 = *net
+            .speaker(SpeakerId(1))
+            .unwrap()
+            .peer_config(SpeakerId(2))
+            .unwrap();
+        let cfg21 = *net
+            .speaker(SpeakerId(2))
+            .unwrap()
+            .peer_config(SpeakerId(1))
+            .unwrap();
+        net.disconnect(SpeakerId(1), SpeakerId(2));
+        net.run(10_000).unwrap();
+        assert!(net.best_route(SpeakerId(3), &p("10.1.0.0/16")).is_none());
+        net.reconnect(SpeakerId(1), cfg12, SpeakerId(2), cfg21);
+        net.run(10_000).unwrap();
+        assert!(net.is_quiescent());
+        let best3 = net.best_route(SpeakerId(3), &p("10.1.0.0/16")).unwrap();
+        assert_eq!(best3.attrs.as_path, vec![Asn(2), Asn(1)]);
     }
 
     #[test]

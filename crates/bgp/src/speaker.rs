@@ -282,6 +282,24 @@ impl Speaker {
         self.dirty.extend(all);
     }
 
+    /// Schedules re-evaluation (and hence re-export) of every known prefix
+    /// *without* poisoning existing Adj-RIB-Out fingerprints. Peers that
+    /// already hold the current state diff each re-export to a no-op; a
+    /// freshly (re)connected peer — whose fingerprints were cleared at
+    /// session teardown — receives the full table. This is the outbound
+    /// half of BGP session establishment, used by
+    /// [`crate::BgpNet::reconnect`].
+    pub fn schedule_initial_advertisement(&mut self) {
+        let all: Vec<Prefix> = self
+            .adj_rib_in
+            .keys()
+            .chain(self.local.keys())
+            .chain(self.loc_rib.keys())
+            .copied()
+            .collect();
+        self.dirty.extend(all);
+    }
+
     /// Stops originating a prefix.
     pub fn withdraw_local(&mut self, prefix: Prefix) {
         if self.local.remove(&prefix).is_some() {

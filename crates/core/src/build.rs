@@ -220,8 +220,7 @@ pub fn build_vns(internet: &mut Internet, config: &VnsConfig) -> Result<Vns, Con
                         .iter()
                         .min_by(|a, b| {
                             Internet::city_km(pop.city, **a)
-                                .partial_cmp(&Internet::city_km(pop.city, **b))
-                                .expect("finite")
+                                .total_cmp(&Internet::city_km(pop.city, **b))
                         })
                         .expect("LTPs have presence")
                 };

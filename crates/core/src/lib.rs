@@ -28,6 +28,7 @@
 pub mod build;
 pub mod config;
 pub mod economics;
+pub mod fault;
 pub mod georr;
 pub mod lpfunc;
 pub mod mgmt;
@@ -37,6 +38,7 @@ pub mod service;
 pub use build::build_vns;
 pub use config::{RoutingMode, VnsConfig};
 pub use economics::{analyze as analyze_economics, CostBreakdown, CostModel, Demand};
+pub use fault::{FaultError, FaultEvent, FaultInjector, FaultPlan};
 pub use georr::GeoHook;
 pub use lpfunc::LocalPrefFn;
 pub use mgmt::Overrides;

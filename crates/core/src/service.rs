@@ -188,8 +188,7 @@ impl Vns {
             .min_by(|a, b| {
                 a.location()
                     .distance_km(&loc)
-                    .partial_cmp(&b.location().distance_km(&loc))
-                    .expect("finite")
+                    .total_cmp(&b.location().distance_km(&loc))
             })
             .expect("pops non-empty")
             .id()

@@ -1,0 +1,170 @@
+//! The fault-injection subsystem: scripted cut/restore events must be
+//! exactly undoable — after a restore and an incremental reconvergence the
+//! control plane routes like nothing happened.
+
+use vns_core::{
+    build_vns, FaultError, FaultEvent, FaultInjector, FaultPlan, PopId, Vns, VnsConfig,
+};
+use vns_topo::{generate, Internet, TopoConfig};
+
+fn world(seed: u64) -> (Internet, Vns) {
+    let mut internet = generate(&TopoConfig::tiny(seed)).expect("generate");
+    let vns = build_vns(&mut internet, &VnsConfig::default()).expect("converge");
+    (internet, vns)
+}
+
+fn routable_fraction(internet: &Internet, vns: &Vns, from: PopId) -> f64 {
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for p in internet.prefixes().filter(|p| p.last_mile) {
+        total += 1;
+        if vns
+            .path_via_vns(internet, from, p.prefix.first_host())
+            .is_ok()
+        {
+            ok += 1;
+        }
+    }
+    ok as f64 / total.max(1) as f64
+}
+
+#[test]
+fn session_cut_and_restore_round_trips() {
+    let (mut internet, vns) = world(7);
+    let pop = &vns.pops()[0];
+    let border = pop.borders[0];
+    let (up_as, up_city) = vns.primary_upstream(pop.id());
+    let upstream = internet.router_of(up_as, up_city).expect("upstream router");
+
+    let mut inj = FaultInjector::new();
+    inj.apply(
+        &mut internet,
+        &vns,
+        FaultEvent::SessionCut {
+            a: border,
+            b: upstream,
+        },
+    )
+    .expect("cut");
+    internet.net.run(vns.message_budget()).expect("reconverge");
+    assert!(internet.net.is_quiescent());
+    assert!(!inj.fully_restored());
+
+    inj.apply(
+        &mut internet,
+        &vns,
+        FaultEvent::SessionRestore {
+            a: border,
+            b: upstream,
+        },
+    )
+    .expect("restore");
+    internet.net.run(vns.message_budget()).expect("reconverge");
+    assert!(internet.net.is_quiescent());
+    assert!(inj.fully_restored());
+    let frac = routable_fraction(&internet, &vns, pop.id());
+    assert!(frac > 0.999, "post-restore routable fraction: {frac}");
+}
+
+#[test]
+fn reflector_blip_survives_and_recovers() {
+    let (mut internet, vns) = world(81);
+    let [rr0, _] = vns.reflectors();
+    let plan = FaultPlan::router_blip("rr0-blip", rr0);
+    let mut inj = FaultInjector::new();
+
+    for (i, &step) in plan.steps.iter().enumerate() {
+        inj.apply(&mut internet, &vns, step).expect("apply");
+        internet.net.run(vns.message_budget()).expect("reconverge");
+        assert!(internet.net.is_quiescent(), "step {i} left the net torn");
+        // The surviving reflector keeps the AS routed even mid-plan.
+        let frac = routable_fraction(&internet, &vns, PopId(10));
+        assert!(frac > 0.999, "step {i}: routable fraction {frac}");
+    }
+    assert!(inj.fully_restored());
+    assert_eq!(inj.dead_routers().count(), 0);
+}
+
+#[test]
+fn router_down_marks_dead_until_up() {
+    let (mut internet, vns) = world(3);
+    let [rr0, _] = vns.reflectors();
+    let mut inj = FaultInjector::new();
+    inj.apply(&mut internet, &vns, FaultEvent::RouterDown { router: rr0 })
+        .expect("down");
+    assert_eq!(inj.dead_routers().collect::<Vec<_>>(), vec![rr0]);
+    assert!(inj.severed_sessions().count() > 0);
+    inj.apply(&mut internet, &vns, FaultEvent::RouterUp { router: rr0 })
+        .expect("up");
+    assert!(inj.fully_restored());
+}
+
+#[test]
+fn circuit_cut_and_restore_round_trips() {
+    let (mut internet, vns) = world(5);
+    // Cut the intra-PoP link between the two borders of PoP 0: both stay
+    // reachable via the cluster mesh, and the restore puts the cost back.
+    let pop = &vns.pops()[0];
+    let [b0, b1] = pop.borders;
+    let mut inj = FaultInjector::new();
+    inj.apply(&mut internet, &vns, FaultEvent::CircuitCut { a: b0, b: b1 })
+        .expect("cut");
+    internet.net.run(vns.message_budget()).expect("reconverge");
+    assert!(internet.net.is_quiescent());
+    inj.apply(
+        &mut internet,
+        &vns,
+        FaultEvent::CircuitRestore { a: b0, b: b1 },
+    )
+    .expect("restore");
+    internet.net.run(vns.message_budget()).expect("reconverge");
+    assert!(inj.fully_restored());
+    let frac = routable_fraction(&internet, &vns, pop.id());
+    assert!(frac > 0.999, "post-restore routable fraction: {frac}");
+}
+
+#[test]
+fn unknown_targets_are_rejected() {
+    let (mut internet, vns) = world(11);
+    let [rr0, rr1] = vns.reflectors();
+    let bogus = vns_bgp::SpeakerId(u32::MAX);
+    let mut inj = FaultInjector::new();
+    assert_eq!(
+        inj.apply(
+            &mut internet,
+            &vns,
+            FaultEvent::RouterDown { router: bogus }
+        ),
+        Err(FaultError::UnknownRouter(bogus))
+    );
+    // Restoring a session never severed by this injector is an error, even
+    // though the session exists.
+    assert_eq!(
+        inj.apply(
+            &mut internet,
+            &vns,
+            FaultEvent::SessionRestore { a: rr0, b: rr1 }
+        ),
+        Err(FaultError::UnknownSession(rr0, rr1))
+    );
+    // No circuit between the two reflectors (they attach via borders).
+    assert_eq!(
+        inj.apply(
+            &mut internet,
+            &vns,
+            FaultEvent::CircuitCut { a: rr0, b: rr1 }
+        ),
+        Err(FaultError::UnknownCircuit(rr0, rr1))
+    );
+}
+
+#[test]
+fn flap_plan_expands_to_alternating_steps() {
+    let a = vns_bgp::SpeakerId(1);
+    let b = vns_bgp::SpeakerId(2);
+    let plan = FaultPlan::session_flap("flap", a, b, 3);
+    assert_eq!(plan.steps.len(), 6);
+    assert_eq!(plan.steps[0], FaultEvent::SessionCut { a, b });
+    assert_eq!(plan.steps[1], FaultEvent::SessionRestore { a, b });
+    assert_eq!(plan.steps[4], FaultEvent::SessionCut { a, b });
+}

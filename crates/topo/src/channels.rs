@@ -266,9 +266,12 @@ impl ChannelFactory {
 
     /// Number of hop blackout schedules memoized so far (diagnostics).
     pub fn cached_blackout_schedules(&self) -> usize {
+        // The cache is a pure memo of deterministic schedules — always
+        // valid, so recover from poisoning rather than cascading a
+        // worker's panic into misleading poisoned-lock aborts under par_map.
         self.blackout_cache
             .lock()
-            .expect("blackout cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
     }
 
@@ -454,7 +457,12 @@ impl ChannelFactory {
         if !subject_to_faults || self.config.blackout_events_per_day <= 0.0 {
             return BlackoutSchedule::none();
         }
-        let mut cache = self.blackout_cache.lock().expect("blackout cache poisoned");
+        // Pure memo: never invalid, so a panicked peer's poison is safe to
+        // strip (see cached_blackout_schedules).
+        let mut cache = self
+            .blackout_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(s) = cache.get(&hop.label) {
             return s.clone();
         }

@@ -180,16 +180,14 @@ pub fn generate(config: &TopoConfig) -> Result<Internet, GenError> {
                 };
                 cities.push(first);
                 if let Some(&far) = in_region.iter().max_by(|a, b| {
-                    Internet::city_km(first, **a)
-                        .partial_cmp(&Internet::city_km(first, **b))
-                        .expect("finite")
+                    Internet::city_km(first, **a).total_cmp(&Internet::city_km(first, **b))
                 }) {
                     if far != first {
                         cities.push(far);
                         if let Some(&mid) = in_region.iter().max_by(|a, b| {
                             let da = Internet::city_km(first, **a).min(Internet::city_km(far, **a));
                             let db = Internet::city_km(first, **b).min(Internet::city_km(far, **b));
-                            da.partial_cmp(&db).expect("finite")
+                            da.total_cmp(&db)
                         }) {
                             if mid != first && mid != far {
                                 cities.push(mid);
@@ -276,7 +274,7 @@ pub fn generate(config: &TopoConfig) -> Result<Internet, GenError> {
                 .min_by(|x, y| {
                     let dx = Internet::city_km(internet.as_info(a).home_city, **x);
                     let dy = Internet::city_km(internet.as_info(a).home_city, **y);
-                    dx.partial_cmp(&dy).expect("finite")
+                    dx.total_cmp(&dy)
                 })
                 .expect("every region has a hub");
             connect(&mut internet, a, b, Relation::Peer, &[ix]);
@@ -597,11 +595,7 @@ fn best_city_pairs(internet: &Internet, a: AsId, b: AsId, k: usize) -> Vec<(City
             pairs.push((Internet::city_km(ca, cb), ca, cb));
         }
     }
-    pairs.sort_by(|x, y| {
-        x.0.partial_cmp(&y.0)
-            .expect("finite")
-            .then((x.1, x.2).cmp(&(y.1, y.2)))
-    });
+    pairs.sort_by(|x, y| x.0.total_cmp(&y.0).then((x.1, x.2).cmp(&(y.1, y.2))));
     pairs
         .into_iter()
         .take(k)

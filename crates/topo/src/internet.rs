@@ -153,9 +153,7 @@ impl Internet {
         info.routers
             .iter()
             .min_by(|(a, _), (b, _)| {
-                Self::city_km(near_city, *a)
-                    .partial_cmp(&Self::city_km(near_city, *b))
-                    .expect("finite")
+                Self::city_km(near_city, *a).total_cmp(&Self::city_km(near_city, *b))
             })
             .map(|&(_, sp)| sp)
             .or(info.speaker)

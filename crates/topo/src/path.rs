@@ -182,8 +182,7 @@ pub fn resolve_path(
                                 .copied()
                                 .min_by(|(a, _), (b, _)| {
                                     Internet::city_km(cur_city, *a)
-                                        .partial_cmp(&Internet::city_km(cur_city, *b))
-                                        .expect("finite")
+                                        .total_cmp(&Internet::city_km(cur_city, *b))
                                 })
                                 .ok_or(PathError::NoRoute(cur))?;
                             if near != cur_city {
@@ -252,7 +251,7 @@ pub fn resolve_path(
                     .min_by(|(a, _), (b, _)| {
                         let da = Internet::city_km(cur_city, *a);
                         let db = Internet::city_km(cur_city, *b);
-                        da.partial_cmp(&db).expect("distances are finite")
+                        da.total_cmp(&db)
                     })
                     .ok_or(PathError::NoRoute(cur))?;
                 if near != cur_city {

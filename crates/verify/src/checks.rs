@@ -14,7 +14,7 @@ use vns_core::lpfunc::MAX_DISTANCE_KM;
 use vns_core::{GeoHook, LocalPrefFn, RoutingMode, Vns};
 use vns_topo::Internet;
 
-use crate::{Invariant, Reporter, Violation};
+use crate::{Invariant, Reporter, VerifyScope, Violation};
 
 /// Floor must exceed this multiple of the BGP default to count as the
 /// paper's "always much higher than the default value of 100"; between
@@ -159,13 +159,23 @@ fn mirror_hook(internet: &Internet, vns: &Vns) -> GeoHook {
 /// twice non-idempotently, or — the common operational failure — an
 /// override change that was never pushed through a route refresh, leaving
 /// the RIBs stale.
-pub(crate) fn geo_preference(internet: &Internet, vns: &Vns, rep: &mut Reporter) {
+pub(crate) fn geo_preference(
+    internet: &Internet,
+    vns: &Vns,
+    scope: &VerifyScope,
+    rep: &mut Reporter,
+) {
     if vns.mode() != RoutingMode::GeoColdPotato {
         // Hot-potato deployments install no hook; nothing to audit.
         return;
     }
     let hook = mirror_hook(internet, vns);
     for rr in vns.reflectors() {
+        if scope.is_dead(rr) {
+            // A downed reflector's Adj-RIB-In is empty by construction;
+            // nothing it holds can be stale.
+            continue;
+        }
         let Some(sp) = internet.net.speaker(rr) else {
             rep.push(
                 Violation::error(
@@ -302,9 +312,19 @@ pub(crate) fn no_export_containment(internet: &Internet, rep: &mut Reporter) {
 /// the advertisement is still missing (machinery broken); warning when the
 /// deployment runs with best-external off (the paper's pathology,
 /// reproduced deliberately).
-pub(crate) fn hidden_routes(internet: &Internet, vns: &Vns, rep: &mut Reporter) {
+pub(crate) fn hidden_routes(
+    internet: &Internet,
+    vns: &Vns,
+    scope: &VerifyScope,
+    rep: &mut Reporter,
+) {
     for pop in vns.pops() {
         for b in pop.borders {
+            if scope.is_dead(b) {
+                // A downed border advertises nothing; there is no
+                // best-external machinery left to audit.
+                continue;
+            }
             let Some(sp) = internet.net.speaker(b) else {
                 rep.push(
                     Violation::error(Invariant::HiddenRoute, "border is not a registered speaker")
@@ -326,6 +346,12 @@ pub(crate) fn hidden_routes(internet: &Internet, vns: &Vns, rep: &mut Reporter) 
                     continue;
                 }
                 for rr in vns.reflectors() {
+                    if scope.is_dead(rr) {
+                        // Sessions to a dead reflector are *expected* to be
+                        // gone; the surviving reflector's visibility is
+                        // what keeps the route un-hidden.
+                        continue;
+                    }
                     if sp.peer_config(rr).is_none() {
                         rep.push(
                             Violation::error(
@@ -460,7 +486,12 @@ pub(crate) fn valley_free(internet: &Internet, rep: &mut Reporter) {
 /// The decision process compares LOCAL_PREF before resolvability, so an
 /// unresolvable high-preference candidate would win selection and
 /// blackhole traffic.
-pub(crate) fn next_hop_resolution(internet: &Internet, vns: &Vns, rep: &mut Reporter) {
+pub(crate) fn next_hop_resolution(
+    internet: &Internet,
+    vns: &Vns,
+    scope: &VerifyScope,
+    rep: &mut Reporter,
+) {
     let routers: Vec<SpeakerId> = vns
         .pops()
         .iter()
@@ -468,6 +499,11 @@ pub(crate) fn next_hop_resolution(internet: &Internet, vns: &Vns, rep: &mut Repo
         .chain(vns.reflectors())
         .collect();
     for r in routers {
+        if scope.is_dead(r) {
+            // A downed router forwards nothing; routes *naming it* as next
+            // hop are still audited from the surviving routers below.
+            continue;
+        }
         let Some(sp) = internet.net.speaker(r) else {
             rep.push(
                 Violation::error(

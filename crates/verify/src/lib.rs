@@ -45,7 +45,7 @@
 //! pretty-prints the [`Report`] and exits nonzero on errors, and the
 //! campaign drivers run [`verify`] as a fail-fast pre-flight.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use vns_bgp::{Prefix, SpeakerId};
@@ -53,6 +53,46 @@ use vns_core::{LocalPrefFn, Vns};
 use vns_topo::Internet;
 
 mod checks;
+
+/// What the verifier should assume about the deployment's health.
+///
+/// The default scope audits a fully healthy deployment. When a fault
+/// campaign has deliberately taken routers down (e.g. a route-reflector
+/// failover scenario), checks that assert the *presence* of sessions or
+/// RIB state on those routers would report the injected fault itself as a
+/// violation — a border router is *supposed* to have no iBGP session to a
+/// dead reflector. Scoping the dead routers lets the remaining invariants
+/// (which are exactly the ones that must still hold on the surviving
+/// topology) be enforced at full strength.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyScope {
+    dead: BTreeSet<SpeakerId>,
+}
+
+impl VerifyScope {
+    /// The healthy-deployment scope (equivalent to [`VerifyScope::default`]).
+    pub fn converged() -> Self {
+        Self::default()
+    }
+
+    /// A scope in which the given routers are known to be down
+    /// (control-plane dead: all BGP sessions torn).
+    pub fn with_dead_routers(dead: impl IntoIterator<Item = SpeakerId>) -> Self {
+        VerifyScope {
+            dead: dead.into_iter().collect(),
+        }
+    }
+
+    /// True when `router` is assumed dead under this scope.
+    pub fn is_dead(&self, router: SpeakerId) -> bool {
+        self.dead.contains(&router)
+    }
+
+    /// True when no routers are assumed dead.
+    pub fn is_converged(&self) -> bool {
+        self.dead.is_empty()
+    }
+}
 
 /// How bad a violation is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -330,14 +370,28 @@ impl fmt::Display for Report {
 /// `internet` must have been run to quiescence; `vns` is the deployment
 /// built into it by [`vns_core::build_vns`].
 pub fn verify(internet: &Internet, vns: &Vns) -> Report {
+    verify_scoped(internet, vns, &VerifyScope::default())
+}
+
+/// Runs the invariant checks against a deployment that may be running
+/// degraded: routers listed dead in `scope` are exempt from
+/// presence-asserting checks (HIDDEN-ROUTE's session-to-reflector audit,
+/// GEO-PREF and NEXT-HOP on the dead routers themselves), while every
+/// other invariant still applies at full strength to the surviving
+/// topology. With an empty scope this is exactly [`verify`].
+///
+/// `internet` must still have been run to quiescence *after* the faults
+/// were injected — this scopes what "healthy" means, it does not excuse
+/// mid-convergence transients.
+pub fn verify_scoped(internet: &Internet, vns: &Vns, scope: &VerifyScope) -> Report {
     let mut rep = Reporter::default();
     checks::lp_fn_shape(vns.lp_fn(), "deployed", &mut rep);
     checks::override_sanity(vns, &mut rep);
-    checks::geo_preference(internet, vns, &mut rep);
+    checks::geo_preference(internet, vns, scope, &mut rep);
     checks::no_export_containment(internet, &mut rep);
-    checks::hidden_routes(internet, vns, &mut rep);
+    checks::hidden_routes(internet, vns, scope, &mut rep);
     checks::valley_free(internet, &mut rep);
-    checks::next_hop_resolution(internet, vns, &mut rep);
+    checks::next_hop_resolution(internet, vns, scope, &mut rep);
     rep.finish()
 }
 
