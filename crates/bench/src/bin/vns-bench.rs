@@ -5,7 +5,7 @@
 //!           [--threads N] [--out DIR] <cmd>
 //!
 //! cmd: fig3 | as-congruence | fig4 | fig5 | fig6 | fig7 | fig9 | fig10 |
-//!      fig11 | fig12 | table1 | jitter |
+//!      fig11 | fig12 | table1 | jitter | steady-state |
 //!      ablate-lp | ablate-best-external | ablate-geoip | ablate-fec |
 //!      ablate-l2 | ablate-mode | ablate-measurement | ablate-auto-override |
 //!      economics | setup-time | all
@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use vns_bench::experiments::{
     ablate, congruence, failover, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig9, jitter,
-    table1,
+    steady_state, table1,
 };
 use vns_bench::{World, WorldConfig};
 use vns_netsim::{Dur, Par};
@@ -108,7 +108,7 @@ fn parse_args() -> Result<Opts, String> {
 
 const USAGE: &str = "usage: vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] [--threads N] [--out DIR] <experiment>\n\
 experiments: fig3 as-congruence fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 table1 jitter\n\
-             failover ablate-lp ablate-best-external ablate-geoip ablate-fec ablate-l2 ablate-mode\n\
+             steady-state failover ablate-lp ablate-best-external ablate-geoip ablate-fec ablate-l2 ablate-mode\n\
              ablate-measurement ablate-auto-override economics setup-time all\n\
 --threads 0 (default) uses every hardware thread; artefacts are byte-identical at any count";
 
@@ -335,6 +335,18 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
             });
             emit(opts, cmd, r.to_string())?;
         }
+        "steady-state" => {
+            // Builds its own world: the churn-under-failure phase mutates
+            // the control plane.
+            let cfg = WorldConfig {
+                seed: opts.seed,
+                scale: opts.scale,
+                ..WorldConfig::default()
+            };
+            let ss = steady_state::SteadyStateOpts::from_cli(opts.sessions, opts.days);
+            let r = timed(rec, "steady-state", || steady_state::run(&cfg, ss, par));
+            emit(opts, cmd, r.to_string())?;
+        }
         "ablate-lp" => emit(
             opts,
             cmd,
@@ -460,6 +472,15 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
                 "{}",
                 timed(rec, "failover", || failover::run(&w.config, par))
             );
+            let ss = steady_state::SteadyStateOpts::from_cli(opts.sessions, opts.days);
+            emit(
+                opts,
+                "steady-state",
+                timed(rec, "steady-state", || {
+                    steady_state::run(&w.config, ss, par)
+                })
+                .to_string(),
+            )?;
             println!(
                 "{}",
                 timed(rec, "ablate-lp", || ablate::lp_shape(opts.seed, opts.scale))

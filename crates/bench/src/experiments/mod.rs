@@ -13,4 +13,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig9;
 pub mod jitter;
+pub mod steady_state;
 pub mod table1;

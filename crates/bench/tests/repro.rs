@@ -8,7 +8,7 @@
 //! `vns-bench` prints and writes with `--out`) at `--threads 1` and
 //! `--threads 8` from freshly built worlds and compares the strings.
 
-use vns_bench::experiments::{failover, fig10, fig11, fig3, fig9, table1};
+use vns_bench::experiments::{failover, fig10, fig11, fig3, fig9, steady_state, table1};
 use vns_bench::{World, WorldConfig};
 use vns_netsim::{Dur, Par};
 
@@ -85,6 +85,21 @@ fn failover_artefact_is_byte_identical_across_thread_counts() {
     // thread counts.
     assert_identical("failover", |w, par| {
         failover::run(&w.config, par).to_string()
+    });
+}
+
+#[test]
+fn steady_state_artefact_is_byte_identical_across_thread_counts() {
+    // The full three-phase campaign: Poisson churn, PoP failure with
+    // reconvergence + path-table rebuild, recovery. Per-call measurement
+    // fans out over the workers, so this pins the service plane's
+    // label-derived RNG streams and canonical-order folds end to end.
+    let opts = steady_state::SteadyStateOpts {
+        target_concurrent: 900,
+        windows: 6,
+    };
+    assert_identical("steady-state", |w, par| {
+        steady_state::run(&w.config, opts, par).to_string()
     });
 }
 

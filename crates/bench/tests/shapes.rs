@@ -4,7 +4,7 @@
 //! what factor, where the crossovers are.
 
 use vns_bench::experiments::{
-    ablate, congruence, fig10, fig11, fig3, fig4, fig5, fig7, fig9, jitter, table1,
+    ablate, congruence, fig10, fig11, fig3, fig4, fig5, fig7, fig9, jitter, steady_state, table1,
 };
 use vns_bench::{World, WorldConfig};
 use vns_core::PopId;
@@ -318,6 +318,50 @@ fn fig12_ap_masking_effect() {
             "{ty}: AP losses should follow AP's clock (waking {waking}, night {night})"
         );
     }
+}
+
+#[test]
+fn steady_state_holds_target_and_survives_failure() {
+    let cfg = WorldConfig {
+        seed: 124,
+        scale: SCALE,
+        ..WorldConfig::default()
+    };
+    let opts = steady_state::SteadyStateOpts {
+        target_concurrent: 1500,
+        windows: 6,
+    };
+    let r = steady_state::run(&cfg, opts, Par::seq());
+    // Little's law holds through the diurnal trough.
+    assert!(
+        r.steady_sustained as f64 > 0.7 * r.target_concurrent as f64,
+        "sustained {} vs target {}",
+        r.steady_sustained,
+        r.target_concurrent
+    );
+    // The failure phase tears down the victim's sessions, keeps routing
+    // verified, and the denial rate stays bounded (spill absorbs most of
+    // the landing traffic).
+    assert!(r.torn_down > 0, "no sessions torn by the PoP failure");
+    assert!(r.all_verified(), "verify errors {}", r.verify_errors);
+    let denied = r.fault_denied_pct();
+    assert!(denied < 60.0, "fault-phase denial {denied}%");
+    // Recovery refills: the last window's concurrency is back above the
+    // fault phase's low point.
+    let windows = &r.telemetry.windows;
+    let fault_low = windows[opts.windows as usize..]
+        .iter()
+        .map(|w| w.concurrent_end)
+        .min()
+        .expect("fault windows");
+    let final_conc = windows.last().expect("windows").concurrent_end;
+    assert!(
+        final_conc >= fault_low,
+        "recovery did not refill: final {final_conc} vs low {fault_low}"
+    );
+    // Telemetry measured real setups and QoS bursts in every phase.
+    assert!(r.telemetry.setup_overall().count() > 100);
+    assert!(r.telemetry.loss_overall().count() > 0);
 }
 
 #[test]

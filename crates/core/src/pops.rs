@@ -43,6 +43,10 @@ pub struct PopSpec {
     pub region: PopRegion,
     /// Cluster membership.
     pub cluster: ClusterId,
+    /// Relative relay capacity share (concurrent-session units). Major
+    /// hub sites run bigger relay fleets; the service plane apportions an
+    /// absolute per-PoP session budget proportional to these.
+    pub relay_units: u16,
 }
 
 /// Number of PoPs ("currently, there are 11 PoPs on four continents").
@@ -56,6 +60,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "SanJose",
         region: PopRegion::Us,
         cluster: ClusterId::Na,
+        relay_units: 3,
     },
     PopSpec {
         id: PopId(2),
@@ -63,6 +68,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "Seattle",
         region: PopRegion::Us,
         cluster: ClusterId::Na,
+        relay_units: 2,
     },
     PopSpec {
         id: PopId(3),
@@ -70,6 +76,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "Atlanta",
         region: PopRegion::Us,
         cluster: ClusterId::Na,
+        relay_units: 2,
     },
     PopSpec {
         id: PopId(4),
@@ -77,6 +84,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "Oslo",
         region: PopRegion::Eu,
         cluster: ClusterId::Eu,
+        relay_units: 1,
     },
     PopSpec {
         id: PopId(5),
@@ -84,6 +92,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "Ashburn",
         region: PopRegion::Us,
         cluster: ClusterId::Na,
+        relay_units: 3,
     },
     PopSpec {
         id: PopId(6),
@@ -91,6 +100,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "Frankfurt",
         region: PopRegion::Eu,
         cluster: ClusterId::Eu,
+        relay_units: 2,
     },
     PopSpec {
         id: PopId(7),
@@ -98,6 +108,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "Singapore",
         region: PopRegion::Ap,
         cluster: ClusterId::Ap,
+        relay_units: 3,
     },
     PopSpec {
         id: PopId(8),
@@ -105,6 +116,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "HongKong",
         region: PopRegion::Ap,
         cluster: ClusterId::Ap,
+        relay_units: 2,
     },
     PopSpec {
         id: PopId(9),
@@ -112,6 +124,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "Amsterdam",
         region: PopRegion::Eu,
         cluster: ClusterId::Eu,
+        relay_units: 3,
     },
     PopSpec {
         id: PopId(10),
@@ -119,6 +132,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "London",
         region: PopRegion::Eu,
         cluster: ClusterId::Eu,
+        relay_units: 3,
     },
     PopSpec {
         id: PopId(11),
@@ -126,6 +140,7 @@ pub const POP_SPECS: [PopSpec; POP_COUNT] = [
         city_name: "Sydney",
         region: PopRegion::Oc,
         cluster: ClusterId::Oc,
+        relay_units: 2,
     },
 ];
 
@@ -198,6 +213,25 @@ mod tests {
         assert_eq!(by_id(7).region, PopRegion::Ap);
         assert_eq!(by_id(9).region, PopRegion::Eu);
         assert_eq!(by_id(10).city_name, "London");
+    }
+
+    #[test]
+    fn relay_units_are_positive_and_hub_weighted() {
+        let total: u32 = POP_SPECS.iter().map(|p| u32::from(p.relay_units)).sum();
+        assert!(total >= POP_COUNT as u32, "every PoP has at least one unit");
+        for spec in &POP_SPECS {
+            assert!(spec.relay_units > 0, "{} has no relay capacity", spec.code);
+        }
+        let units = |code: &str| {
+            POP_SPECS
+                .iter()
+                .find(|p| p.code == code)
+                .unwrap()
+                .relay_units
+        };
+        // Big hub sites outrank the single-purpose Oslo PoP.
+        assert!(units("AMS") > units("OSL"));
+        assert!(units("SJS") > units("OSL"));
     }
 
     #[test]

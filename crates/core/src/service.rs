@@ -194,6 +194,60 @@ impl Vns {
             .id()
     }
 
+    /// PoPs ordered by great-circle distance from PoP `from` (nearest
+    /// first, `from` itself excluded). This is the admission controller's
+    /// spill order: when `from` is at capacity a call is offered to each
+    /// PoP in this order up to the spill depth, so regional saturation
+    /// degrades to nearby PoPs before it rejects.
+    pub fn spill_order(&self, from: PopId) -> Vec<PopId> {
+        let origin = self.pop(from).location();
+        let mut rest: Vec<(f64, PopId)> = self
+            .pops
+            .iter()
+            .filter(|p| p.id() != from)
+            .map(|p| (origin.distance_km(&p.location()), p.id()))
+            .collect();
+        // Ties (if any) break on PoP id so the order is total and stable.
+        rest.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        rest.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Apportions an absolute concurrent-session budget across PoPs in
+    /// proportion to their [`crate::pops::PopSpec::relay_units`], largest-
+    /// remainder rounding, every PoP guaranteed at least one slot. Returns
+    /// `(PopId, capacity)` in id order.
+    pub fn apportion_capacity(&self, total_sessions: u64) -> Vec<(PopId, u64)> {
+        let units: u64 = self
+            .pops
+            .iter()
+            .map(|p| u64::from(p.spec.relay_units))
+            .sum();
+        let mut rows: Vec<(PopId, u64, u64)> = self
+            .pops
+            .iter()
+            .map(|p| {
+                let u = u64::from(p.spec.relay_units);
+                let exact = total_sessions * u;
+                (p.id(), exact / units, exact % units)
+            })
+            .collect();
+        let assigned: u64 = rows.iter().map(|r| r.1).sum();
+        let mut leftover = total_sessions.saturating_sub(assigned);
+        // Largest remainder first; PoP id breaks ties deterministically.
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by(|&a, &b| rows[b].2.cmp(&rows[a].2).then(rows[a].0.cmp(&rows[b].0)));
+        for i in order {
+            if leftover == 0 {
+                break;
+            }
+            rows[i].1 += 1;
+            leftover -= 1;
+        }
+        rows.into_iter()
+            .map(|(id, cap, _)| (id, cap.max(1)))
+            .collect()
+    }
+
     /// From PoP `from`'s perspective, the egress PoP its best route to
     /// `dst_ip` uses (the Fig 4 metric). `None` when no route.
     pub fn egress_pop(&self, internet: &Internet, from: PopId, dst_ip: u32) -> Option<PopId> {

@@ -120,6 +120,59 @@ fn exit_neighbor_is_a_real_session() {
 }
 
 #[test]
+fn spill_order_is_distance_sorted_and_complete() {
+    let (_, vns) = world(77);
+    for pop in vns.pops() {
+        let order = vns.spill_order(pop.id());
+        assert_eq!(order.len(), vns.pops().len() - 1);
+        assert!(!order.contains(&pop.id()), "never spills to itself");
+        let origin = pop.location();
+        let dists: Vec<f64> = order
+            .iter()
+            .map(|&id| origin.distance_km(&vns.pop(id).location()))
+            .collect();
+        assert!(
+            dists.windows(2).all(|w| w[0] <= w[1]),
+            "{} spill order not sorted: {dists:?}",
+            pop.code()
+        );
+    }
+    // Amsterdam's first spill choices are the nearby EU PoPs, not AP/OC.
+    let first3 = &vns.spill_order(PopId(9))[..3];
+    for id in first3 {
+        assert_eq!(
+            vns.pop(*id).spec.cluster,
+            vns_core::ClusterId::Eu,
+            "AMS should spill within Europe first"
+        );
+    }
+}
+
+#[test]
+fn capacity_apportionment_conserves_and_floors() {
+    let (_, vns) = world(78);
+    let caps = vns.apportion_capacity(100_000);
+    assert_eq!(caps.len(), vns.pops().len());
+    assert_eq!(caps.iter().map(|(_, c)| c).sum::<u64>(), 100_000);
+    for (id, cap) in &caps {
+        assert!(*cap > 0, "{id} got zero capacity");
+    }
+    // Proportional to relay units: AMS (3 units) gets ~3x OSL (1 unit).
+    let cap_of = |code: &str| {
+        let id = vns.pop_by_code(code).unwrap().id();
+        caps.iter().find(|(i, _)| *i == id).unwrap().1
+    };
+    let (ams, osl) = (cap_of("AMS"), cap_of("OSL"));
+    assert!(
+        (ams as f64 / osl as f64 - 3.0).abs() < 0.1,
+        "AMS {ams} vs OSL {osl}"
+    );
+    // Tiny budgets still give every PoP at least one slot.
+    let tiny = vns.apportion_capacity(3);
+    assert!(tiny.iter().all(|(_, c)| *c >= 1));
+}
+
+#[test]
 fn pop_lookup_helpers() {
     let (_, vns) = world(76);
     assert_eq!(vns.pop_by_code("AMS").unwrap().id(), PopId(9));

@@ -83,6 +83,52 @@ pub fn setup_call(fwd: &mut PathChannel, rev: &mut PathChannel, start: SimTime) 
     }
 }
 
+/// Result of one BYE teardown exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeardownReport {
+    /// The far end confirmed the BYE with a 200 before timer F.
+    pub confirmed: bool,
+    /// Time from first BYE to the 200 arriving, ms (timer F on failure).
+    pub teardown_ms: f64,
+    /// Signalling messages put on the wire (both directions).
+    pub messages_sent: u32,
+}
+
+/// Runs a BYE transaction at `start`: retransmit on T1 doubling until a
+/// 200 round trip completes or timer F (= 64 × T1, RFC 3261 non-INVITE
+/// timeout) fires. Either way the session is torn down locally — an
+/// unconfirmed BYE only means the relay holds the port until its own
+/// timeout, which is why the service plane frees capacity at the
+/// *scheduled* departure instant, not at BYE confirmation.
+pub fn teardown_call(
+    fwd: &mut PathChannel,
+    rev: &mut PathChannel,
+    start: SimTime,
+) -> TeardownReport {
+    let deadline = start + SIP_TIMER_B; // timer F has the same 64*T1 value
+    let mut messages = 0u32;
+    let mut attempt_at = start;
+    let mut interval = SIP_T1;
+    loop {
+        if let Some(ok_at) = transact(fwd, rev, attempt_at, &mut messages) {
+            return TeardownReport {
+                confirmed: true,
+                teardown_ms: (ok_at - start).as_millis_f64(),
+                messages_sent: messages,
+            };
+        }
+        attempt_at += interval;
+        interval = interval + interval;
+        if attempt_at >= deadline {
+            return TeardownReport {
+                confirmed: false,
+                teardown_ms: (deadline - start).as_millis_f64(),
+                messages_sent: messages,
+            };
+        }
+    }
+}
+
 /// A TURN-style authentication exchange (what the paper's Fig 7 counts):
 /// one request/challenge plus one authenticated retry — two round trips,
 /// each retransmitted on loss like the INVITE.
@@ -173,6 +219,26 @@ mod tests {
             "{}",
             r.invite_retransmissions
         );
+    }
+
+    #[test]
+    fn teardown_is_one_round_trip_when_clean() {
+        let mut fwd = channel(35.0, 0.0, 11);
+        let mut rev = channel(35.0, 0.0, 12);
+        let r = teardown_call(&mut fwd, &mut rev, SimTime::EPOCH);
+        assert!(r.confirmed);
+        assert_eq!(r.messages_sent, 2); // BYE, 200
+        assert!((70.0..74.0).contains(&r.teardown_ms), "{}", r.teardown_ms);
+    }
+
+    #[test]
+    fn teardown_gives_up_at_timer_f() {
+        let mut fwd = channel(10.0, 1.0, 13);
+        let mut rev = channel(10.0, 0.0, 14);
+        let r = teardown_call(&mut fwd, &mut rev, SimTime::EPOCH);
+        assert!(!r.confirmed);
+        assert!(r.teardown_ms <= SIP_TIMER_B.as_millis_f64() + 1e-6);
+        assert!(r.messages_sent >= 6, "{}", r.messages_sent);
     }
 
     #[test]

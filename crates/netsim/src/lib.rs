@@ -19,11 +19,14 @@
 //! * [`HopChannel`]/[`PathChannel`] — a packet's eye view of a multi-hop
 //!   path, used by both the probing and media crates;
 //! * [`fault`] — scheduled blackout windows modelling routing-convergence
-//!   events (the bursty-outlier cause in Fig 10).
+//!   events (the bursty-outlier cause in Fig 10);
+//! * [`ArrivalProcess`] — windowed non-homogeneous Poisson call arrivals
+//!   for the live service plane (rate shaped by a diurnal profile).
 //!
 //! Everything is deterministic given a master seed: no wall clock, no global
 //! RNG, no iteration-order dependence.
 
+pub mod arrivals;
 pub mod channel;
 pub mod delay;
 pub mod diurnal;
@@ -36,16 +39,17 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use arrivals::ArrivalProcess;
 pub use channel::{
     packets_sent, HopChannel, PathChannel, PathOutcome, SendAt, SendMany, DEFAULT_EPOCH,
 };
 pub use delay::DelaySampler;
-pub use diurnal::DiurnalProfile;
+pub use diurnal::{DiurnalProfile, DiurnalShape};
 pub use engine::Engine;
 pub use event::EventQueue;
 pub use fault::{BlackoutSchedule, FaultGenerator};
 pub use loss::{LossModel, LossProcess};
 pub use par::{par_map, Par};
 pub use rng::RngTree;
-pub use time::{Dur, SimTime};
+pub use time::{Dur, SimTime, Window};
 pub use trace::{Trace, TraceEvent};

@@ -166,6 +166,72 @@ impl SimTime {
         debug_assert!(earlier.0 <= self.0, "time went backwards");
         Dur(self.0.saturating_sub(earlier.0))
     }
+
+    /// Index of the fixed-width telemetry window containing `self`.
+    ///
+    /// # Panics
+    /// Panics (debug) on a zero-width window; release builds return 0.
+    pub const fn window_index(&self, width: Dur) -> u64 {
+        debug_assert!(width.0 > 0, "zero-width window");
+        match self.0.checked_div(width.0) {
+            Some(n) => n,
+            None => 0,
+        }
+    }
+}
+
+/// A fixed-width **simulated-time** telemetry window.
+///
+/// Campaign telemetry buckets results by window; these are always windows
+/// of the simulation clock, never of host wall time — mixing the two would
+/// make artefacts depend on machine speed. Host `Instant` is reserved for
+/// the bench perf ledger (wall-seconds of the run itself), which is the
+/// only place it belongs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Window {
+    /// Zero-based window index since the simulation epoch.
+    pub index: u64,
+    /// Window width.
+    pub width: Dur,
+}
+
+impl Window {
+    /// The window of width `width` containing instant `t`.
+    pub const fn of(t: SimTime, width: Dur) -> Window {
+        Window {
+            index: t.window_index(width),
+            width,
+        }
+    }
+
+    /// Inclusive start of the window.
+    pub const fn start(&self) -> SimTime {
+        SimTime(self.width.0.saturating_mul(self.index))
+    }
+
+    /// Exclusive end of the window.
+    pub const fn end(&self) -> SimTime {
+        SimTime(self.width.0.saturating_mul(self.index + 1))
+    }
+
+    /// Whether instant `t` falls inside this window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start() <= t && t < self.end()
+    }
+
+    /// The next window.
+    pub const fn next(&self) -> Window {
+        Window {
+            index: self.index + 1,
+            width: self.width,
+        }
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start(), self.end())
+    }
 }
 
 impl Add<Dur> for SimTime {
@@ -240,6 +306,21 @@ mod tests {
         assert_eq!(Dur::from_millis(1500).to_string(), "1.500s");
         assert_eq!(Dur::from_micros(1500).to_string(), "1.500ms");
         assert_eq!(Dur::from_nanos(12).to_string(), "12ns");
+    }
+
+    #[test]
+    fn windows_partition_the_clock() {
+        let w = Dur::from_mins(5);
+        let t = SimTime::EPOCH + Dur::from_mins(12);
+        let win = Window::of(t, w);
+        assert_eq!(win.index, 2);
+        assert_eq!(win.start(), SimTime::EPOCH + Dur::from_mins(10));
+        assert_eq!(win.end(), SimTime::EPOCH + Dur::from_mins(15));
+        assert!(win.contains(t));
+        assert!(!win.contains(win.end()));
+        assert!(win.next().contains(win.end()));
+        assert_eq!(SimTime::EPOCH.window_index(w), 0);
+        assert_eq!(win.to_string(), "[d0+00:10:00, d0+00:15:00)");
     }
 
     #[test]

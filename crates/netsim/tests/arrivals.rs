@@ -1,0 +1,161 @@
+//! Arrival-process edge cases and cross-thread byte-identity.
+//!
+//! The service plane trusts two things about [`ArrivalProcess`]: the
+//! diurnal rate shaping is well-behaved at the awkward spots (midnight
+//! wraparound, zero amplitude, extreme rates), and the stream of arrivals
+//! is a pure function of `(seed, window index)` so campaigns can generate
+//! windows on any worker in any order.
+
+use vns_netsim::diurnal::DiurnalShape;
+use vns_netsim::{ArrivalProcess, DiurnalProfile, Dur, Par, RngTree, SimTime};
+
+fn mixed() -> DiurnalProfile {
+    DiurnalProfile::new(DiurnalShape::Mixed, 0.5, 0.4, 0.0)
+}
+
+#[test]
+fn diurnal_curves_wrap_cleanly_at_midnight() {
+    // The bump construction is periodic: utilisation just before midnight
+    // and just after must be continuous for every shape — a sawtooth at
+    // the day boundary would put a spurious arrival-rate step into every
+    // multi-day campaign.
+    for shape in [
+        DiurnalShape::Business,
+        DiurnalShape::Residential,
+        DiurnalShape::Mixed,
+    ] {
+        let p = DiurnalProfile::new(shape, 0.3, 0.6, 0.0);
+        let before = p.utilization_at_hour(23.999);
+        let after = p.utilization_at_hour(0.001);
+        assert!(
+            (before - after).abs() < 1e-3,
+            "{shape:?}: {before} vs {after} across midnight"
+        );
+        // And the simulation clock agrees with the hour arithmetic: the
+        // last instant of day 0 matches the first instant of day 1.
+        let t0 = SimTime::EPOCH + Dur::from_millis(24 * 3_600_000 - 1);
+        let t1 = SimTime::EPOCH + Dur::from_millis(24 * 3_600_000 + 1);
+        assert!(
+            (p.utilization(t0) - p.utilization(t1)).abs() < 1e-3,
+            "{shape:?}: discontinuous across the day boundary"
+        );
+    }
+}
+
+#[test]
+fn utc_offset_moves_the_peak_across_midnight() {
+    // A residential evening peak (20:30 local) in UTC+5 lands at 15:30
+    // UTC; in UTC-5 it lands at 01:30 UTC — the wraparound case.
+    let east = DiurnalProfile::new(DiurnalShape::Residential, 0.1, 0.8, 5.0);
+    let west = DiurnalProfile::new(DiurnalShape::Residential, 0.1, 0.8, -5.0);
+    let at = |h: f64| SimTime::EPOCH + Dur::from_mins((h * 60.0) as u64);
+    assert!(east.utilization(at(15.5)) > 0.8);
+    assert!(
+        west.utilization(at(25.5)) > 0.8,
+        "peak must wrap past 24:00"
+    );
+    assert!(west.utilization(at(15.5)) < 0.3);
+}
+
+#[test]
+fn zero_amplitude_ignores_the_shape() {
+    // amplitude == 0 degenerates every shape to a flat profile: the
+    // arrival counts must match the flat process window for window.
+    let shaped = ArrivalProcess::new(
+        6.0,
+        DiurnalProfile::new(DiurnalShape::Residential, 0.55, 0.0, 3.0),
+        Dur::from_mins(5),
+    );
+    let flat = ArrivalProcess::new(6.0, DiurnalProfile::flat(0.55), Dur::from_mins(5));
+    let tree = RngTree::new(21);
+    for idx in 0..30 {
+        assert_eq!(
+            shaped.window_arrivals(&tree, idx),
+            flat.window_arrivals(&tree, idx),
+            "window {idx}: zero-amplitude shape leaked into thinning"
+        );
+    }
+}
+
+#[test]
+fn arrival_volume_scales_linearly_with_peak_rate() {
+    // Doubling the peak rate doubles the expected count; the thinning
+    // construction must not distort the scaling.
+    let tree = RngTree::new(22);
+    let count = |rate: f64| -> usize {
+        let p = ArrivalProcess::new(rate, mixed(), Dur::from_mins(5));
+        (0..200).map(|i| p.window_arrivals(&tree, i).len()).sum()
+    };
+    let (x1, x2, x4) = (count(2.0), count(4.0), count(8.0));
+    let ratio21 = x2 as f64 / x1 as f64;
+    let ratio42 = x4 as f64 / x2 as f64;
+    assert!(
+        (ratio21 - 2.0).abs() < 0.15,
+        "2x rate gave {ratio21}x arrivals"
+    );
+    assert!(
+        (ratio42 - 2.0).abs() < 0.15,
+        "2x rate gave {ratio42}x arrivals"
+    );
+}
+
+#[test]
+fn rate_at_respects_the_profile_clock() {
+    let p = ArrivalProcess::new(10.0, mixed(), Dur::from_mins(5));
+    // Mixed peaks near 13:00; the 04:00 trough is near base utilisation.
+    let at = |h: u64| SimTime::EPOCH + Dur::from_hours(h);
+    assert!(p.rate_at(at(13)) > p.rate_at(at(4)) * 1.5);
+    assert!(p.rate_at(at(4)) >= 10.0 * 0.5 - 1e-9, "trough below base");
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Generates windows `0..n` fanned out over `par` workers and
+    /// concatenates the streams in window order.
+    fn stream(seed: u64, rate: f64, n: u64, par: Par) -> Vec<SimTime> {
+        let p = ArrivalProcess::new(rate, mixed(), Dur::from_mins(5));
+        let tree = RngTree::new(seed).subtree("arrivals-test");
+        let idxs: Vec<u64> = (0..n).collect();
+        par.map(&idxs, |_, &i| p.window_arrivals(&tree, i))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The whole arrival stream is byte-identical whether the windows
+        /// are generated sequentially or on 2 or 8 workers.
+        #[test]
+        fn stream_identical_across_thread_counts(
+            seed in 0u64..10_000,
+            rate in 0.1f64..20.0,
+            n in 1u64..40,
+        ) {
+            let seq = stream(seed, rate, n, Par::seq());
+            prop_assert_eq!(&seq, &stream(seed, rate, n, Par::new(2)));
+            prop_assert_eq!(&seq, &stream(seed, rate, n, Par::new(8)));
+        }
+
+        /// Every arrival lies inside its window and the stream is sorted —
+        /// for any seed, rate and horizon.
+        #[test]
+        fn stream_sorted_and_in_bounds(
+            seed in 0u64..10_000,
+            rate in 0.1f64..20.0,
+            n in 1u64..40,
+        ) {
+            let p = ArrivalProcess::new(rate, mixed(), Dur::from_mins(5));
+            let s = stream(seed, rate, n, Par::seq());
+            for w in s.windows(2) {
+                prop_assert!(w[0] <= w[1], "stream out of order");
+            }
+            if let Some(last) = s.last() {
+                prop_assert!(*last < p.window_start(n));
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Probe scheduling and aggregation determinism.
+//!
+//! The campaigns fan probe rounds out over worker threads, so everything
+//! here must hold for the artefacts to be byte-identical at any thread
+//! count: round schedules are pure functions of (start, interval, span);
+//! per-round results depend only on the round's label-derived RNG stream,
+//! never on the order rounds execute; and summary aggregation commutes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vns_netsim::{Dur, HopChannel, LossModel, LossProcess, PathChannel, RngTree, SimTime, Window};
+use vns_probe::{loss_train, rounds, rtt_probe_std, LossTrain, TrainSummary};
+
+/// A 2-hop path with Bernoulli loss, all state derived from one seed.
+fn lossy_path(p: f64, seed: u64) -> PathChannel {
+    let mut hop = HopChannel::ideal(12.0);
+    hop.loss = LossProcess::new(
+        LossModel::Bernoulli { p },
+        SmallRng::seed_from_u64(seed ^ 0xA5A5),
+    );
+    PathChannel::new(
+        vec![hop, HopChannel::ideal(8.0)],
+        SmallRng::seed_from_u64(seed),
+    )
+}
+
+fn ideal_path(seed: u64) -> PathChannel {
+    PathChannel::new(vec![HopChannel::ideal(5.0)], SmallRng::seed_from_u64(seed))
+}
+
+/// One probe round the way campaigns run it: fresh forward/reverse
+/// channels from the round's label-derived seeds, then one loss train.
+fn run_round(tree: &RngTree, round: usize, at: SimTime) -> LossTrain {
+    let mut fwd = lossy_path(0.08, tree.seed_for_args(format_args!("round:{round}:fwd")));
+    let mut rev = ideal_path(tree.seed_for_args(format_args!("round:{round}:rev")));
+    loss_train(&mut fwd, &mut rev, at, 100)
+}
+
+#[test]
+fn schedule_covers_multi_day_span_at_paper_cadence() {
+    // Paper Sec 5.1: one 100-packet train every 10 minutes, for days.
+    let span = Dur::from_days(3);
+    let interval = Dur::from_mins(10);
+    let r = rounds(SimTime::EPOCH, interval, span);
+    assert_eq!(r.len(), 3 * 24 * 6);
+    // Evenly spaced from the start, and the last round is inside the span.
+    for (i, t) in r.iter().enumerate() {
+        assert_eq!(*t, SimTime::EPOCH + interval.mul(i as u64));
+    }
+    assert!(*r.last().expect("rounds") < SimTime::EPOCH + span);
+}
+
+#[test]
+fn schedule_floors_partial_intervals() {
+    // 25 minutes fit two whole 10-minute intervals; no round starts in the
+    // trailing fragment.
+    let r = rounds(SimTime::EPOCH, Dur::from_mins(10), Dur::from_mins(25));
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn schedule_aligns_with_telemetry_windows() {
+    // Rounds at a cadence that divides the window width land a fixed
+    // number of rounds in every window — the property Fig 12's per-window
+    // round counts rely on.
+    let width = Dur::from_mins(30);
+    let r = rounds(SimTime::EPOCH, Dur::from_mins(10), Dur::from_hours(6));
+    let mut per_window = std::collections::BTreeMap::new();
+    for t in &r {
+        *per_window
+            .entry(Window::of(*t, width).index)
+            .or_insert(0u32) += 1;
+    }
+    assert_eq!(per_window.len(), 12);
+    assert!(per_window.values().all(|&n| n == 3));
+}
+
+#[test]
+fn round_results_do_not_depend_on_execution_order() {
+    // A worker that picks rounds up in reverse (or any) order must produce
+    // the same per-round trains, because each round's channels derive from
+    // its label, not from shared walk-order state.
+    let tree = RngTree::new(404).subtree("probe-campaign");
+    let at = |i: usize| SimTime::EPOCH + Dur::from_mins(10).mul(i as u64);
+    let forward: Vec<LossTrain> = (0..24).map(|i| run_round(&tree, i, at(i))).collect();
+    let mut reverse: Vec<LossTrain> = (0..24).rev().map(|i| run_round(&tree, i, at(i))).collect();
+    reverse.reverse();
+    assert_eq!(forward, reverse);
+    // And a fresh rerun reproduces byte-for-byte.
+    let again: Vec<LossTrain> = (0..24).map(|i| run_round(&tree, i, at(i))).collect();
+    assert_eq!(forward, again);
+}
+
+#[test]
+fn distinct_round_labels_get_distinct_loss_fates() {
+    // The point of per-round streams: rounds are independent samples, not
+    // replays of one packet-fate sequence.
+    let tree = RngTree::new(405).subtree("probe-campaign");
+    let trains: Vec<LossTrain> = (0..40)
+        .map(|i| run_round(&tree, i, SimTime::EPOCH))
+        .collect();
+    let distinct: std::collections::BTreeSet<u32> = trains.iter().map(|t| t.lost).collect();
+    assert!(
+        distinct.len() > 3,
+        "only {} distinct loss counts",
+        distinct.len()
+    );
+}
+
+#[test]
+fn summary_aggregation_is_order_insensitive() {
+    let tree = RngTree::new(406).subtree("probe-campaign");
+    let trains: Vec<LossTrain> = (0..50)
+        .map(|i| run_round(&tree, i, SimTime::EPOCH))
+        .collect();
+    let fold = |order: &[usize]| {
+        let mut s = TrainSummary::default();
+        for &i in order {
+            s.add(&trains[i]);
+        }
+        (s.rounds, s.lossy_rounds, s.sent, s.lost)
+    };
+    let fwd: Vec<usize> = (0..trains.len()).collect();
+    let rev: Vec<usize> = (0..trains.len()).rev().collect();
+    let mut shuffled: Vec<usize> = (0..trains.len()).collect();
+    shuffled.rotate_left(17);
+    assert_eq!(fold(&fwd), fold(&rev));
+    assert_eq!(fold(&fwd), fold(&shuffled));
+}
+
+#[test]
+fn rtt_probe_is_deterministic_per_label() {
+    let tree = RngTree::new(407).subtree("rtt");
+    let probe = |label: u64| {
+        let mut f = ideal_path(tree.seed_for_args(format_args!("p:{label}:f")));
+        let mut r = ideal_path(tree.seed_for_args(format_args!("p:{label}:r")));
+        rtt_probe_std(&mut f, &mut r, SimTime::EPOCH)
+    };
+    let a = probe(1);
+    assert_eq!(a, probe(1), "same label must reproduce");
+    assert_eq!(a.received, 5);
+    // Different labels draw different jitter, so the min RTTs differ.
+    let b = probe(2);
+    assert_ne!(a.min_rtt_ms, b.min_rtt_ms, "independent probes identical");
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Loss accounting is bounded and self-consistent for any loss
+        /// probability, train length and seed.
+        #[test]
+        fn train_counts_bounded(p in 0.0f64..1.0, count in 1u32..200, seed in 0u64..1_000) {
+            let mut f = lossy_path(p, seed);
+            let mut r = ideal_path(seed ^ 0x77);
+            let t = loss_train(&mut f, &mut r, SimTime::EPOCH, count);
+            prop_assert_eq!(t.sent, count);
+            prop_assert!(t.lost <= t.sent);
+            prop_assert!((0.0..=1.0).contains(&t.loss_frac()));
+            prop_assert_eq!(t.lossy(), t.lost > 0);
+        }
+
+        /// Schedules are pure: any (interval, span) pair yields floor
+        /// division many rounds, strictly increasing and inside the span.
+        #[test]
+        fn schedule_pure_and_in_span(interval_m in 1u64..120, span_m in 0u64..2_000) {
+            let interval = Dur::from_mins(interval_m);
+            let span = Dur::from_mins(span_m);
+            let r = rounds(SimTime::EPOCH, interval, span);
+            prop_assert_eq!(r.len() as u64, span_m / interval_m);
+            for w in r.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            if let Some(last) = r.last() {
+                prop_assert!(*last < SimTime::EPOCH + span);
+            }
+        }
+    }
+}

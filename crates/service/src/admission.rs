@@ -1,0 +1,164 @@
+//! PoP admission control with spill-to-nearest.
+//!
+//! Each PoP runs a finite relay fleet; its concurrent-session capacity is
+//! apportioned from a global budget in proportion to
+//! [`vns_core::pops::PopSpec::relay_units`]. A call is offered to its
+//! anycast landing PoP first; when that PoP is saturated the call spills
+//! to the geographically nearest PoPs (in [`Vns::spill_order`]) up to a
+//! bounded depth — beyond that the call is rejected outright, so regional
+//! overload shows up as rejections instead of silently teleporting calls
+//! around the planet.
+
+use std::collections::BTreeMap;
+
+use vns_core::{PopId, Vns};
+
+/// Outcome of offering one call to the admission controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted at the landing PoP itself.
+    Primary(PopId),
+    /// Landing PoP full; admitted at a nearby PoP over the L2 splice.
+    Spilled {
+        /// The saturated landing PoP.
+        landing: PopId,
+        /// The PoP that took the call.
+        admitted: PopId,
+    },
+    /// Landing PoP and every spill candidate full (or dead).
+    Rejected,
+}
+
+impl Admission {
+    /// The admitting PoP, when admitted.
+    pub fn pop(&self) -> Option<PopId> {
+        match *self {
+            Admission::Primary(p) => Some(p),
+            Admission::Spilled { admitted, .. } => Some(admitted),
+            Admission::Rejected => None,
+        }
+    }
+}
+
+/// Per-PoP occupancy bookkeeping. Purely sequential state — the
+/// orchestrator drives it from the (deterministic) event loop, never from
+/// worker threads.
+#[derive(Debug)]
+pub struct AdmissionController {
+    /// Capacity per PoP (0 for a failed PoP).
+    caps: BTreeMap<PopId, u64>,
+    /// Live sessions per PoP.
+    occ: BTreeMap<PopId, u64>,
+    /// Pre-computed spill order per landing PoP, truncated to the depth.
+    spill: BTreeMap<PopId, Vec<PopId>>,
+    admitted: u64,
+    spilled: u64,
+    rejected: u64,
+}
+
+impl AdmissionController {
+    /// Builds the controller: `total_capacity` concurrent-session slots
+    /// apportioned over PoPs, spill bounded to the `spill_depth` nearest.
+    pub fn new(vns: &Vns, total_capacity: u64, spill_depth: usize) -> Self {
+        let caps: BTreeMap<PopId, u64> =
+            vns.apportion_capacity(total_capacity).into_iter().collect();
+        let occ = caps.keys().map(|&p| (p, 0)).collect();
+        let spill = caps
+            .keys()
+            .map(|&p| {
+                let mut order = vns.spill_order(p);
+                order.truncate(spill_depth);
+                (p, order)
+            })
+            .collect();
+        Self {
+            caps,
+            occ,
+            spill,
+            admitted: 0,
+            spilled: 0,
+            rejected: 0,
+        }
+    }
+
+    fn has_room(&self, pop: PopId) -> bool {
+        self.occ[&pop] < self.caps[&pop]
+    }
+
+    /// Offers a call landing at `landing`; books the slot on admission.
+    pub fn offer(&mut self, landing: PopId) -> Admission {
+        if self.has_room(landing) {
+            *self.occ.get_mut(&landing).expect("known pop") += 1;
+            self.admitted += 1;
+            return Admission::Primary(landing);
+        }
+        let candidates = self.spill[&landing].clone();
+        for admitted in candidates {
+            if self.has_room(admitted) {
+                *self.occ.get_mut(&admitted).expect("known pop") += 1;
+                self.admitted += 1;
+                self.spilled += 1;
+                return Admission::Spilled { landing, admitted };
+            }
+        }
+        self.rejected += 1;
+        Admission::Rejected
+    }
+
+    /// Releases one slot at `pop` (session departed or torn down).
+    pub fn release(&mut self, pop: PopId) {
+        let o = self.occ.get_mut(&pop).expect("known pop");
+        debug_assert!(*o > 0, "release on empty {pop}");
+        *o = o.saturating_sub(1);
+    }
+
+    /// Marks a PoP failed: capacity drops to zero so it admits nothing.
+    /// Live sessions are the lifecycle manager's to tear down (each one
+    /// still calls [`AdmissionController::release`]).
+    pub fn fail_pop(&mut self, pop: PopId) {
+        *self.caps.get_mut(&pop).expect("known pop") = 0;
+    }
+
+    /// Restores a failed PoP to capacity `cap`.
+    pub fn restore_pop(&mut self, pop: PopId, cap: u64) {
+        *self.caps.get_mut(&pop).expect("known pop") = cap;
+    }
+
+    /// Capacity of `pop`.
+    pub fn capacity(&self, pop: PopId) -> u64 {
+        self.caps[&pop]
+    }
+
+    /// Live sessions at `pop`.
+    pub fn occupancy(&self, pop: PopId) -> u64 {
+        self.occ[&pop]
+    }
+
+    /// `(PoP, occupancy, capacity)` rows in id order.
+    pub fn occupancy_rows(&self) -> Vec<(PopId, u64, u64)> {
+        self.occ
+            .iter()
+            .map(|(&p, &o)| (p, o, self.caps[&p]))
+            .collect()
+    }
+
+    /// Total live sessions across all PoPs.
+    pub fn total_occupancy(&self) -> u64 {
+        self.occ.values().sum()
+    }
+
+    /// Calls admitted since construction.
+    pub fn total_admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Admitted calls that had to spill.
+    pub fn total_spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Calls rejected since construction.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected
+    }
+}

@@ -1,0 +1,90 @@
+//! Population-weighted call endpoints.
+//!
+//! Callers and callees are hosts in last-mile prefixes, sampled in
+//! proportion to the metro population of the prefix's ground-truth city
+//! (`vns-geo` populations): conferencing demand follows where users live.
+//! Prefixes whose hosts cannot reach the anycast relay at all are dropped
+//! at build time, so every sampled caller has a defined landing PoP.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use vns_core::Vns;
+use vns_geo::{metro_population_k, CityId};
+use vns_topo::Internet;
+
+/// One usable call endpoint: a host in a routable last-mile prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct Endpoint {
+    /// Representative host address in the prefix.
+    pub ip: u32,
+    /// Ground-truth city of the prefix.
+    pub city: CityId,
+}
+
+/// The sampling table over all usable endpoints.
+#[derive(Debug)]
+pub struct EndpointTable {
+    endpoints: Vec<Endpoint>,
+    /// Exclusive cumulative population weights; `cum[i]` is the total
+    /// weight of endpoints `0..=i`.
+    cum: Vec<u64>,
+}
+
+impl EndpointTable {
+    /// Builds the table from every last-mile prefix whose hosts can reach
+    /// the anycast relay address.
+    pub fn build(internet: &Internet, vns: &Vns) -> Self {
+        let mut endpoints = Vec::new();
+        let mut cum = Vec::new();
+        let mut total = 0u64;
+        for p in internet.prefixes().filter(|p| p.last_mile) {
+            let ip = p.prefix.first_host();
+            if vns.anycast_landing(internet, ip).is_err() {
+                continue;
+            }
+            total += u64::from(metro_population_k(p.city)).max(1);
+            endpoints.push(Endpoint { ip, city: p.city });
+            cum.push(total);
+        }
+        assert!(!endpoints.is_empty(), "no routable last-mile endpoints");
+        Self { endpoints, cum }
+    }
+
+    /// Number of usable endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the table is empty (never after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Endpoint by index.
+    pub fn endpoint(&self, idx: usize) -> Endpoint {
+        self.endpoints[idx]
+    }
+
+    /// Total sampling weight (sum of populations, thousands).
+    pub fn total_weight(&self) -> u64 {
+        *self.cum.last().expect("non-empty")
+    }
+
+    /// Samples one endpoint index, population-weighted.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let x = rng.gen_range(0..self.total_weight());
+        self.cum.partition_point(|&c| c <= x)
+    }
+
+    /// Samples a caller/callee pair in distinct prefixes (the callee
+    /// re-homes to the next endpoint when the draw collides — a
+    /// deterministic fix-up, not a rejection loop).
+    pub fn sample_pair(&self, rng: &mut SmallRng) -> (usize, usize) {
+        let a = self.sample(rng);
+        let mut b = self.sample(rng);
+        if a == b {
+            b = (b + 1) % self.endpoints.len();
+        }
+        (a, b)
+    }
+}

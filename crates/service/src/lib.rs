@@ -1,0 +1,37 @@
+//! Service-plane orchestration: live call churn over the relay network.
+//!
+//! The measurement crates answer "what does one flow see?"; this crate
+//! answers the operator's question — what does the *service* look like
+//! while tens of thousands of calls arrive, hold and hang up around the
+//! clock? It composes the existing layers into a live call plane:
+//!
+//! * [`EndpointTable`] — population-weighted caller/callee sampling over
+//!   routable last-mile prefixes (`vns-geo` metro populations);
+//! * [`ArrivalProcess`](vns_netsim::ArrivalProcess) — Poisson arrivals
+//!   rate-shaped by the diurnal demand curve, one RNG stream per window;
+//! * [`AdmissionController`] — per-PoP concurrent-session capacity with
+//!   spill-to-nearest and explicit rejection accounting;
+//! * [`PathTable`] — epoch-cached resolved paths (anycast landings, VNS
+//!   tails, dedicated L2 splice legs for spilled calls);
+//! * [`SessionManager`] — the deterministic arrival/departure event loop;
+//! * [`Orchestrator`] — per-window passes: sequential bookkeeping, then
+//!   embarrassingly parallel per-call measurement (SIP setup, sampled HD
+//!   QoS bursts, BYE teardown), folded into windowed
+//!   [`ServiceTelemetry`] percentile sketches.
+//!
+//! Everything is keyed by call id and window index, never by thread or
+//! call order, so campaign artefacts are byte-identical at any `--threads`.
+
+pub mod admission;
+pub mod endpoints;
+pub mod lifecycle;
+pub mod orchestrator;
+pub mod paths;
+pub mod telemetry;
+
+pub use admission::{Admission, AdmissionController};
+pub use endpoints::{Endpoint, EndpointTable};
+pub use lifecycle::{CallOutcome, CallRecord, ServiceEvent, SessionManager};
+pub use orchestrator::{Orchestrator, ServiceConfig, ServiceEnv};
+pub use paths::PathTable;
+pub use telemetry::{ServiceTelemetry, WindowReport};

@@ -1,0 +1,144 @@
+//! Pre-resolved media paths for the service plane.
+//!
+//! Resolving a path is a routing-table walk; doing it per call at 10⁵+
+//! concurrent sessions would dwarf the actual packet work. The service
+//! plane instead resolves everything the data plane can need *once per
+//! routing epoch*:
+//!
+//! * the anycast landing (caller prefix → ingress PoP + access path);
+//! * the VNS tail (each PoP → each callee prefix);
+//! * the dedicated L2 splice legs between PoP pairs, for spilled calls.
+//!
+//! A call's end-to-end path is then a concatenation of cached parts.
+//! After a routing event (fault injection + reconvergence) the table is
+//! rebuilt — paths are an epoch artefact, exactly like the fast-path
+//! channel caches.
+
+use vns_core::{PopId, Vns};
+use vns_geo::city;
+use vns_topo::path::{HopKind, ResolvedHop};
+use vns_topo::{Internet, ResolvedPath};
+
+use crate::endpoints::EndpointTable;
+
+/// Cached path parts for one routing epoch.
+#[derive(Debug)]
+pub struct PathTable {
+    /// Per endpoint index: ingress PoP and the caller→PoP access path.
+    /// `None` when the endpoint cannot currently reach the anycast address
+    /// (possible after a fault, even though the table is built from
+    /// endpoints that were routable at world construction).
+    landings: Vec<Option<(PopId, ResolvedPath)>>,
+    /// Per `(pop index, endpoint index)`: the PoP→callee tail, when the
+    /// PoP's RIB has a route.
+    tails: Vec<Option<ResolvedPath>>,
+    /// Per `(pop index, pop index)`: the dedicated L2 splice leg.
+    splices: Vec<Option<ResolvedHop>>,
+    /// PoP ids in `Vns::pops` order (index ↔ id mapping).
+    pop_ids: Vec<PopId>,
+}
+
+impl PathTable {
+    /// Resolves every cacheable part for the current routing state.
+    pub fn build(internet: &Internet, vns: &Vns, endpoints: &EndpointTable) -> Self {
+        let pop_ids: Vec<PopId> = vns.pops().iter().map(|p| p.id()).collect();
+        let n = endpoints.len();
+
+        let landings: Vec<Option<(PopId, ResolvedPath)>> = (0..n)
+            .map(|i| vns.anycast_landing(internet, endpoints.endpoint(i).ip).ok())
+            .collect();
+
+        let mut tails = Vec::with_capacity(pop_ids.len() * n);
+        for &pop in &pop_ids {
+            for i in 0..n {
+                tails.push(
+                    vns.path_via_vns(internet, pop, endpoints.endpoint(i).ip)
+                        .ok(),
+                );
+            }
+        }
+
+        // Dedicated L2 legs between every PoP pair, modelled as one
+        // dedicated intra-AS hop (the admission spill ride). The VNS AS's
+        // own info supplies asn/type so the channel calibration treats the
+        // leg exactly like the resolver's own L2 hops.
+        let info = internet.as_info(vns.as_id());
+        let mut splices = Vec::with_capacity(pop_ids.len() * pop_ids.len());
+        for &a in &pop_ids {
+            for &b in &pop_ids {
+                if a == b {
+                    splices.push(None);
+                    continue;
+                }
+                let (from, to) = (vns.pop(a), vns.pop(b));
+                splices.push(Some(ResolvedHop {
+                    kind: HopKind::IntraAs {
+                        asn: info.asn,
+                        ty: info.ty,
+                        region: city(to.city).region,
+                        dedicated: true,
+                    },
+                    from_city: from.city,
+                    to_city: to.city,
+                    km: Internet::city_km(from.city, to.city).max(1.0),
+                    label: format!("spill:{a}->{b}"),
+                }));
+            }
+        }
+
+        Self {
+            landings,
+            tails,
+            splices,
+            pop_ids,
+        }
+    }
+
+    fn pop_index(&self, id: PopId) -> usize {
+        self.pop_ids
+            .iter()
+            .position(|&p| p == id)
+            .unwrap_or_else(|| panic!("unknown {id}"))
+    }
+
+    /// The ingress PoP a caller endpoint lands on; `None` when the caller
+    /// cannot reach the anycast address under the current routing state.
+    pub fn landing_pop(&self, caller: usize) -> Option<PopId> {
+        self.landings[caller].as_ref().map(|&(pop, _)| pop)
+    }
+
+    /// How many endpoints currently have an anycast landing.
+    pub fn routable_endpoints(&self) -> usize {
+        self.landings.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Whether `pop` currently has a route to `callee`.
+    pub fn has_tail(&self, pop: PopId, callee: usize) -> bool {
+        self.tails[self.pop_index(pop) * self.landings.len() + callee].is_some()
+    }
+
+    /// The full caller→relay→callee media path for a call landed at
+    /// `landing` and admitted at `admitted` (same PoP for unspilled calls;
+    /// spilled calls ride the dedicated L2 splice leg in between).
+    /// `None` when the admitted PoP has no route to the callee.
+    pub fn call_path(&self, caller: usize, callee: usize, admitted: PopId) -> Option<ResolvedPath> {
+        let (landing, access) = self.landings[caller].as_ref()?;
+        let tail = self.tails[self.pop_index(admitted) * self.landings.len() + callee].as_ref()?;
+        let mut hops = access.hops.clone();
+        let mut routers = access.routers.clone();
+        if *landing == admitted {
+            // The access path already ends at the admitted PoP's border:
+            // drop the tail's duplicate of it.
+            routers.extend(tail.routers.iter().skip(1).cloned());
+        } else {
+            let splice = self.splices
+                [self.pop_index(*landing) * self.pop_ids.len() + self.pop_index(admitted)]
+            .as_ref()
+            .expect("distinct PoPs have a splice leg");
+            hops.push(splice.clone());
+            routers.extend(tail.routers.iter().cloned());
+        }
+        hops.extend(tail.hops.iter().cloned());
+        Some(ResolvedPath { hops, routers })
+    }
+}

@@ -1,0 +1,268 @@
+//! Windowed service telemetry.
+//!
+//! Every metric is bucketed by **simulated-time** window
+//! ([`vns_netsim::Window`]) — never host wall time, which belongs only to
+//! the bench perf ledger. Percentiles come from mergeable
+//! [`QuantileSketch`]es, so per-call measurements folded in canonical call
+//! order produce byte-identical artefacts at any thread count.
+
+use std::fmt;
+
+use vns_core::PopId;
+use vns_netsim::Window;
+use vns_stats::QuantileSketch;
+
+/// Sketch geometry for call-setup latency, ms (SIP timer B caps at 32 s).
+pub fn setup_sketch() -> QuantileSketch {
+    QuantileSketch::new(0.0, 32_000.0, 640)
+}
+
+/// Sketch geometry for round-trip loss percentage.
+pub fn loss_sketch() -> QuantileSketch {
+    QuantileSketch::new(0.0, 100.0, 400)
+}
+
+/// Sketch geometry for RFC 3550 jitter, ms.
+pub fn jitter_sketch() -> QuantileSketch {
+    QuantileSketch::new(0.0, 200.0, 400)
+}
+
+/// Everything measured in one telemetry window.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// The simulated-time window.
+    pub window: Window,
+    /// Calls that arrived.
+    pub arrivals: u64,
+    /// Calls admitted (at the landing PoP or spilled).
+    pub admitted: u64,
+    /// Admitted calls that spilled to a non-landing PoP.
+    pub spilled: u64,
+    /// Calls rejected (landing PoP and all spill candidates full).
+    pub rejected: u64,
+    /// Callers with no route to the anycast address at all (only happens
+    /// under routing faults).
+    pub unreachable: u64,
+    /// Sessions that departed inside the window.
+    pub departures: u64,
+    /// Measured calls whose admitted PoP had no route to the callee.
+    pub no_route: u64,
+    /// Measured setups that failed to establish before timer B.
+    pub setup_failures: u64,
+    /// Concurrent sessions at the window's end.
+    pub concurrent_end: u64,
+    /// `(PoP, occupancy, capacity)` at the window's end, in id order.
+    pub pop_occupancy: Vec<(PopId, u64, u64)>,
+    /// Call-setup latency sketch, ms.
+    pub setup: QuantileSketch,
+    /// Round-trip loss sketch, %, over QoS-sampled calls.
+    pub loss: QuantileSketch,
+    /// Jitter sketch, ms, over QoS-sampled calls.
+    pub jitter: QuantileSketch,
+    /// QoS bursts run.
+    pub qos_samples: u64,
+    /// BYE teardowns confirmed / attempted on QoS-sampled departures.
+    pub teardowns_confirmed: u64,
+    /// Teardowns attempted.
+    pub teardowns: u64,
+}
+
+impl WindowReport {
+    /// A fresh, empty report for `window`.
+    pub fn empty(window: Window) -> Self {
+        Self {
+            window,
+            arrivals: 0,
+            admitted: 0,
+            spilled: 0,
+            rejected: 0,
+            unreachable: 0,
+            departures: 0,
+            no_route: 0,
+            setup_failures: 0,
+            concurrent_end: 0,
+            pop_occupancy: Vec::new(),
+            setup: setup_sketch(),
+            loss: loss_sketch(),
+            jitter: jitter_sketch(),
+            qos_samples: 0,
+            teardowns_confirmed: 0,
+            teardowns: 0,
+        }
+    }
+
+    /// Rejection rate in percent of arrivals.
+    pub fn rejection_pct(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            100.0 * self.rejected as f64 / self.arrivals as f64
+        }
+    }
+}
+
+/// Formats a quantile as a fixed-width cell.
+fn q(s: &QuantileSketch, p: f64) -> String {
+    match s.quantile(p) {
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// The full steady-state telemetry artefact.
+#[derive(Debug, Clone)]
+pub struct ServiceTelemetry {
+    /// Per-window reports in window order.
+    pub windows: Vec<WindowReport>,
+    /// Windows to ignore when judging steady state (ramp-up from empty).
+    pub warmup_windows: usize,
+    /// PoP airport codes in id order, for rendering occupancy rows.
+    pub pop_codes: Vec<(PopId, &'static str)>,
+}
+
+impl ServiceTelemetry {
+    /// Peak end-of-window concurrency.
+    pub fn peak_concurrent(&self) -> u64 {
+        self.windows
+            .iter()
+            .map(|w| w.concurrent_end)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Minimum end-of-window concurrency over post-warmup windows — the
+    /// "sustains N concurrent sessions" number.
+    pub fn sustained_concurrent(&self) -> u64 {
+        self.windows
+            .iter()
+            .skip(self.warmup_windows)
+            .map(|w| w.concurrent_end)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total arrivals.
+    pub fn total_arrivals(&self) -> u64 {
+        self.windows.iter().map(|w| w.arrivals).sum()
+    }
+
+    /// Total rejected calls.
+    pub fn total_rejected(&self) -> u64 {
+        self.windows.iter().map(|w| w.rejected).sum()
+    }
+
+    /// Total anycast-unreachable arrivals.
+    pub fn total_unreachable(&self) -> u64 {
+        self.windows.iter().map(|w| w.unreachable).sum()
+    }
+
+    /// Total spilled admissions.
+    pub fn total_spilled(&self) -> u64 {
+        self.windows.iter().map(|w| w.spilled).sum()
+    }
+
+    /// All-window merged setup sketch.
+    pub fn setup_overall(&self) -> QuantileSketch {
+        let mut all = setup_sketch();
+        for w in &self.windows {
+            all.merge(&w.setup);
+        }
+        all
+    }
+
+    /// All-window merged loss sketch.
+    pub fn loss_overall(&self) -> QuantileSketch {
+        let mut all = loss_sketch();
+        for w in &self.windows {
+            all.merge(&w.loss);
+        }
+        all
+    }
+
+    /// All-window merged jitter sketch.
+    pub fn jitter_overall(&self) -> QuantileSketch {
+        let mut all = jitter_sketch();
+        for w in &self.windows {
+            all.merge(&w.jitter);
+        }
+        all
+    }
+}
+
+impl fmt::Display for ServiceTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "window                    arriv  admit  spill rej    rej%  conc@end | \
+             setup ms p50/p99/p999 | loss% p50/p99/p999 | jitter ms p50/p99/p999"
+        )?;
+        for w in &self.windows {
+            writeln!(
+                f,
+                "{} {:>6} {:>6} {:>6} {:>6} {:>5.1} {:>8} | {:>7}/{:>7}/{:>7} | {:>5}/{:>5}/{:>5} | {:>5}/{:>5}/{:>5}",
+                w.window,
+                w.arrivals,
+                w.admitted,
+                w.spilled,
+                w.rejected,
+                w.rejection_pct(),
+                w.concurrent_end,
+                q(&w.setup, 0.50),
+                q(&w.setup, 0.99),
+                q(&w.setup, 0.999),
+                q(&w.loss, 0.50),
+                q(&w.loss, 0.99),
+                q(&w.loss, 0.999),
+                q(&w.jitter, 0.50),
+                q(&w.jitter, 0.99),
+                q(&w.jitter, 0.999),
+            )?;
+        }
+        // Per-PoP occupancy at the final window.
+        if let Some(last) = self.windows.last() {
+            writeln!(f, "\nper-PoP occupancy at {}:", last.window)?;
+            for (pop, occ, cap) in &last.pop_occupancy {
+                let pct = if *cap == 0 {
+                    0.0
+                } else {
+                    100.0 * *occ as f64 / *cap as f64
+                };
+                match self.pop_codes.iter().find(|(id, _)| id == pop) {
+                    Some((_, code)) => writeln!(f, "  {code}: {occ}/{cap} ({pct:.1}%)")?,
+                    None => writeln!(f, "  {pop}: {occ}/{cap} ({pct:.1}%)")?,
+                }
+            }
+        }
+        let setup = self.setup_overall();
+        let loss = self.loss_overall();
+        let jitter = self.jitter_overall();
+        writeln!(
+            f,
+            "\nsummary: {} arrivals, {} rejected, {} unreachable, {} spilled, \
+             peak {} concurrent, sustained {} concurrent (after {} warmup windows)",
+            self.total_arrivals(),
+            self.total_rejected(),
+            self.total_unreachable(),
+            self.total_spilled(),
+            self.peak_concurrent(),
+            self.sustained_concurrent(),
+            self.warmup_windows,
+        )?;
+        writeln!(
+            f,
+            "overall: setup p50/p99/p999 {}/{}/{} ms ({} calls) | \
+             loss p50/p99/p999 {}/{}/{} % | jitter p50/p99/p999 {}/{}/{} ms ({} QoS bursts)",
+            q(&setup, 0.50),
+            q(&setup, 0.99),
+            q(&setup, 0.999),
+            setup.count(),
+            q(&loss, 0.50),
+            q(&loss, 0.99),
+            q(&loss, 0.999),
+            q(&jitter, 0.50),
+            q(&jitter, 0.99),
+            q(&jitter, 0.999),
+            loss.count(),
+        )
+    }
+}
