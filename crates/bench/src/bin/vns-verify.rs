@@ -1,33 +1,54 @@
-//! `vns-verify` — static control-plane invariant checker CLI.
+//! `vns-verify` — static two-stage checker CLI.
 //!
 //! ```text
-//! vns-verify [--seed N] [--scale F] [--mode geo|hot] [--quiet]
+//! vns-verify [control|dataplane|all] [--seed N] [--scale F] [--mode geo|hot] [--quiet]
 //! ```
 //!
 //! Builds the standard world (generated Internet + VNS deployment, same
-//! knobs as `vns-bench`), runs every `vns-verify` invariant against the
-//! converged control plane, pretty-prints the report and exits nonzero
-//! when any error-severity violation exists. Use it before a long
-//! campaign run, or after hand-editing deployment knobs, to catch a
-//! misconfigured control plane in seconds instead of hours.
+//! knobs as `vns-bench`) and runs the selected verification stage:
+//!
+//! * `control` — the per-router control-plane invariants over converged
+//!   RIBs (stage 1);
+//! * `dataplane` — the whole-network data-plane model checker: derives
+//!   the forwarding graph and proves LOOP-FREE, NO-BLACKHOLE,
+//!   ANYCAST-NEAREST, WAYPOINT (against freshly built service tables)
+//!   and STRETCH-BOUND, with a per-check timing ledger (stage 2);
+//! * `all` (default) — both stages.
+//!
+//! Exits nonzero when any error-severity violation exists. Use it before
+//! a long campaign run, or after hand-editing deployment knobs, to catch
+//! a misconfigured control plane in seconds instead of hours.
 
 use std::process::ExitCode;
 
 use vns_bench::{World, WorldConfig};
 use vns_core::RoutingMode;
+use vns_service::{EndpointTable, PathTable};
+use vns_verify::{verify_dataplane_with_service, DataplaneConfig, VerifyScope};
+
+/// Which verification stage(s) to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Control,
+    Dataplane,
+    All,
+}
 
 #[derive(Debug, Clone)]
 struct Opts {
+    stage: Stage,
     seed: u64,
     scale: f64,
     mode: RoutingMode,
     quiet: bool,
 }
 
-const USAGE: &str = "usage: vns-verify [--seed N] [--scale F] [--mode geo|hot] [--quiet]";
+const USAGE: &str =
+    "usage: vns-verify [control|dataplane|all] [--seed N] [--scale F] [--mode geo|hot] [--quiet]";
 
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
+        stage: Stage::All,
         seed: 77,
         scale: 1.0,
         mode: RoutingMode::GeoColdPotato,
@@ -40,6 +61,9 @@ fn parse_args() -> Result<Opts, String> {
                 .ok_or_else(|| format!("missing value after {name}"))
         };
         match a.as_str() {
+            "control" => opts.stage = Stage::Control,
+            "dataplane" => opts.stage = Stage::Dataplane,
+            "all" => opts.stage = Stage::All,
             "--seed" => {
                 opts.seed = take("--seed")?
                     .parse()
@@ -68,8 +92,8 @@ fn parse_args() -> Result<Opts, String> {
 fn run(opts: &Opts) -> ExitCode {
     let timer = std::time::Instant::now();
     eprintln!(
-        "== vns-verify (seed {}, scale {}, mode {:?}) ==",
-        opts.seed, opts.scale, opts.mode
+        "== vns-verify {:?} (seed {}, scale {}, mode {:?}) ==",
+        opts.stage, opts.seed, opts.scale, opts.mode
     );
     let mut cfg = WorldConfig {
         seed: opts.seed,
@@ -78,16 +102,40 @@ fn run(opts: &Opts) -> ExitCode {
     };
     cfg.vns.mode = opts.mode;
     let world = World::build(cfg);
-    let report = vns_verify::verify(&world.internet, &world.vns);
-    if !opts.quiet || !report.passes() {
-        print!("{}", report.render());
+
+    let mut ok = true;
+    if opts.stage != Stage::Dataplane {
+        let report = vns_verify::verify(&world.internet, &world.vns);
+        if !opts.quiet || !report.passes() {
+            print!("{}", report.render());
+        }
+        ok &= report.passes();
+    }
+    if opts.stage != Stage::Control {
+        // Build the service plane's cached tables so WAYPOINT has
+        // something to cross-check, exactly as the steady-state campaign
+        // would hold them.
+        let endpoints = EndpointTable::build(&world.internet, &world.vns);
+        let paths = PathTable::build(&world.internet, &world.vns, &endpoints);
+        let report = verify_dataplane_with_service(
+            &world.internet,
+            &world.vns,
+            &VerifyScope::default(),
+            &DataplaneConfig::default(),
+            &endpoints,
+            &paths,
+        );
+        if !opts.quiet || !report.passes() {
+            print!("{}", report.render());
+        }
+        ok &= report.passes();
     }
     eprintln!(
         "== checked {} speakers in {:.2}s ==",
         world.internet.net.speaker_ids().count(),
         timer.elapsed().as_secs_f64()
     );
-    if report.passes() {
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -38,6 +38,25 @@ pub fn assert_control_plane(world: &World) {
     );
 }
 
+/// Stage-2 fail-fast pre-flight: statically certifies the *data plane* —
+/// the whole-network forwarding graph derived from the converged RIBs —
+/// before a campaign replays flows over it. Proves LOOP-FREE,
+/// NO-BLACKHOLE, ANYCAST-NEAREST and STRETCH-BOUND; campaigns that build
+/// service-plane tables additionally cross-check WAYPOINT via
+/// [`vns_verify::verify_dataplane_with_service`] at their own call sites.
+///
+/// # Panics
+/// Panics with the rendered report (violations + per-check timing ledger)
+/// on any error-severity finding.
+pub fn assert_data_plane(world: &World) {
+    let report = vns_verify::verify_dataplane(&world.internet, &world.vns);
+    assert!(
+        report.passes(),
+        "data-plane pre-flight failed:\n{}",
+        report.render()
+    );
+}
+
 /// Everything an experiment needs to know about a probed prefix.
 #[derive(Debug, Clone)]
 pub struct PrefixMeta {
@@ -147,6 +166,7 @@ pub fn rtt_matrix(
     par: Par,
 ) -> Vec<Vec<Option<f64>>> {
     assert_control_plane(world);
+    assert_data_plane(world);
     par.map(metas, |_, m| {
         pops.iter()
             .map(|&p| rtt_via_local_exit(world, p, m.ip, t))
@@ -199,6 +219,7 @@ pub fn media_campaign(
     par: Par,
 ) -> Vec<(MediaArm, SessionReport)> {
     assert_control_plane(world);
+    assert_data_plane(world);
     let cfg = SessionConfig::default();
     let echo: Vec<(PopId, Region, u32)> = world
         .vns
@@ -337,6 +358,7 @@ pub fn lastmile_campaign(
     par: Par,
 ) -> Vec<TrainRecord> {
     assert_control_plane(world);
+    assert_data_plane(world);
     let rounds = vns_probe::rounds(SimTime::EPOCH, interval, span);
     let mut units: Vec<(PopId, usize)> = Vec::with_capacity(pops.len() * hosts.len());
     for &pop in pops {

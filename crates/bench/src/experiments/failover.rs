@@ -11,8 +11,9 @@
 //! once:
 //!
 //! * **control plane** — activations and messages per event
-//!   ([`vns_bgp::ConvergenceStats`]), plus a [`BgpNet::is_quiescent`]
-//!   check so a torn RIB is never silently measured;
+//!   ([`vns_bgp::ConvergenceStats`]), plus a
+//!   [`BgpNet::is_quiescent`](vns_bgp::BgpNet::is_quiescent) check so a
+//!   torn RIB is never silently measured;
 //! * **data plane** — monitored client→echo flows are re-resolved across
 //!   the routing epoch and an in-flight HD session is replayed over the
 //!   pre→post path swap, yielding the outage window, packets lost during
@@ -45,9 +46,9 @@ use vns_core::{FaultEvent, FaultInjector, FaultPlan, PopId};
 use vns_media::VideoSpec;
 use vns_netsim::{Dur, Par, RngTree, SimTime};
 use vns_topo::ResolvedPath;
-use vns_verify::{verify_scoped, VerifyScope};
+use vns_verify::{verify_dataplane_scoped, verify_scoped, DataplaneConfig, VerifyScope};
 
-use crate::campaign::{assert_control_plane, channel_pair_args};
+use crate::campaign::{assert_control_plane, assert_data_plane, channel_pair_args};
 use crate::world::{World, WorldConfig};
 
 /// Modeled failure-detection delay, ms (BFD-style: 3 × 100 ms).
@@ -205,6 +206,12 @@ pub struct EventOutcome {
     pub verify_errors: usize,
     /// Warning-severity findings, same scope.
     pub verify_warnings: usize,
+    /// Error-severity data-plane model-checker findings on the post-event
+    /// forwarding graph (same scope; loops and blackholes must not exist
+    /// even mid-incident).
+    pub dataplane_errors: usize,
+    /// Warning-severity data-plane findings, same scope.
+    pub dataplane_warnings: usize,
     /// Flows whose path changed or which crossed the failed element;
     /// untouched flows are counted in `flows_monitored` only.
     pub affected: Vec<FlowOutcome>,
@@ -285,6 +292,7 @@ fn monitor_flows(world: &World) -> Vec<FlowSpec> {
 fn run_scenario(config: &WorldConfig, kind: ScenarioKind) -> ScenarioOutcome {
     let mut world = World::build(config.clone());
     assert_control_plane(&world);
+    assert_data_plane(&world);
     let plan = kind.plan(&world);
     let flows = monitor_flows(&world);
     let tree = RngTree::new(config.seed)
@@ -320,6 +328,12 @@ fn run_scenario(config: &WorldConfig, kind: ScenarioKind) -> ScenarioOutcome {
 
         let scope = VerifyScope::with_dead_routers(inj.dead_routers());
         let report = verify_scoped(&world.internet, &world.vns, &scope);
+        let dataplane = verify_dataplane_scoped(
+            &world.internet,
+            &world.vns,
+            &scope,
+            &DataplaneConfig::default(),
+        );
         let conv_ms = convergence_ms(event, &stats);
 
         let mut affected = Vec::new();
@@ -357,6 +371,8 @@ fn run_scenario(config: &WorldConfig, kind: ScenarioKind) -> ScenarioOutcome {
             conv_ms,
             verify_errors: report.error_count(),
             verify_warnings: report.warning_count(),
+            dataplane_errors: dataplane.error_count(),
+            dataplane_warnings: dataplane.warning_count(),
             affected,
             flows_monitored: flows.len(),
         });
@@ -479,12 +495,13 @@ impl Failover {
             .fold(0.0, f64::max)
     }
 
-    /// True when every step passed the scoped invariant suite.
+    /// True when every step passed the scoped invariant suite AND the
+    /// scoped data-plane model checker.
     pub fn all_verified(&self) -> bool {
         self.scenarios
             .iter()
             .flat_map(|s| &s.steps)
-            .all(|e| e.verify_errors == 0)
+            .all(|e| e.verify_errors == 0 && e.dataplane_errors == 0)
     }
 
     /// A named scenario's outcome.
@@ -510,13 +527,15 @@ impl fmt::Display for Failover {
                 writeln!(
                     f,
                     "  step {i}: {} | {} msgs, {} activations | conv {:.1} ms \
-                     | verify {}E/{}W | {}/{} flows affected",
+                     | verify {}E/{}W | dataplane {}E/{}W | {}/{} flows affected",
                     step.event,
                     step.stats.messages,
                     step.stats.activations,
                     step.conv_ms,
                     step.verify_errors,
                     step.verify_warnings,
+                    step.dataplane_errors,
+                    step.dataplane_warnings,
                     step.affected.len(),
                     step.flows_monitored,
                 )?;

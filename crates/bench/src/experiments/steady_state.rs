@@ -16,8 +16,10 @@
 //!    end-of-window concurrency over this phase.
 //! 2. **Churn under failure** — the busiest PoP's transit border loses its
 //!    BGP control plane ([`FaultEvent::RouterDown`]); BGP reconverges
-//!    incrementally; the scoped invariant suite re-runs; the path table is
-//!    rebuilt for the new routing epoch; every live session on the PoP is
+//!    incrementally; both scoped verifier stages re-run (control-plane
+//!    invariants and the data-plane model checker); the path table is
+//!    rebuilt for the new routing epoch and re-certified against the
+//!    forwarding graph; every live session on the PoP is
 //!    torn down and its admission capacity drops to zero. Churn continues:
 //!    landing traffic spills to the nearest PoPs or is rejected.
 //! 3. **Recovery** — the router comes back, routing reconverges again, the
@@ -36,8 +38,12 @@ use vns_netsim::{DiurnalProfile, Dur, Par, RngTree};
 use vns_service::{
     EndpointTable, Orchestrator, PathTable, ServiceConfig, ServiceEnv, ServiceTelemetry,
 };
-use vns_verify::{verify_scoped, VerifyScope};
+use vns_verify::{
+    verify_dataplane_scoped, verify_dataplane_with_service, verify_scoped, DataplaneConfig,
+    VerifyScope,
+};
 
+use crate::campaign::{assert_control_plane, assert_data_plane};
 use crate::world::{World, WorldConfig};
 
 /// Telemetry window width.
@@ -89,14 +95,19 @@ pub struct SteadyStateResult {
     pub reconvergence_messages: u64,
     /// Scoped-verify errors after each routing change (must be zero).
     pub verify_errors: usize,
+    /// Scoped data-plane model-checker errors after each routing change,
+    /// including the WAYPOINT cross-check of every rebuilt path table
+    /// (must be zero).
+    pub dataplane_errors: usize,
     /// Endpoints with an anycast landing during the fault epoch / total.
     pub routable_during_fault: (usize, usize),
 }
 
 impl SteadyStateResult {
-    /// Whether every routing epoch passed the scoped invariant suite.
+    /// Whether every routing epoch passed the scoped invariant suite and
+    /// the scoped data-plane model checker.
     pub fn all_verified(&self) -> bool {
-        self.verify_errors == 0
+        self.verify_errors == 0 && self.dataplane_errors == 0
     }
 
     /// Rejection + unreachable rate during the fault windows, percent.
@@ -143,7 +154,8 @@ impl fmt::Display for SteadyStateResult {
         writeln!(
             f,
             "failure phase: {} down, {} sessions torn, {}/{} endpoints routable, \
-             {:.2}% of arrivals denied, {} BGP messages to reconverge, verify errors {}",
+             {:.2}% of arrivals denied, {} BGP messages to reconverge, \
+             verify errors {}, dataplane errors {}",
             self.victim,
             self.torn_down,
             self.routable_during_fault.0,
@@ -151,6 +163,7 @@ impl fmt::Display for SteadyStateResult {
             self.fault_denied_pct(),
             self.reconvergence_messages,
             self.verify_errors,
+            self.dataplane_errors,
         )
     }
 }
@@ -159,6 +172,8 @@ impl fmt::Display for SteadyStateResult {
 /// because the failure phase mutates the control plane.
 pub fn run(config: &WorldConfig, opts: SteadyStateOpts, par: Par) -> SteadyStateResult {
     let mut world = World::build(config.clone());
+    assert_control_plane(&world);
+    assert_data_plane(&world);
     let endpoints = EndpointTable::build(&world.internet, &world.vns);
     let mut paths = PathTable::build(&world.internet, &world.vns, &endpoints);
     let total_endpoints = endpoints.len();
@@ -189,7 +204,10 @@ pub fn run(config: &WorldConfig, opts: SteadyStateOpts, par: Par) -> SteadyState
     let border = world.vns.pop(victim_id).borders[0];
     let mut inj = FaultInjector::new();
     let mut verify_errors = 0;
+    let mut dataplane_errors = 0;
     let mut messages = 0;
+    // Applies one fault event, reconverges, and re-runs both verifier
+    // stages scoped to the surviving topology.
     let apply = |world: &mut World, inj: &mut FaultInjector, ev| {
         inj.apply(&mut world.internet, &world.vns, ev)
             .expect("scripted event applies");
@@ -204,30 +222,56 @@ pub fn run(config: &WorldConfig, opts: SteadyStateOpts, par: Par) -> SteadyState
         );
         let scope = VerifyScope::with_dead_routers(inj.dead_routers());
         let errors = verify_scoped(&world.internet, &world.vns, &scope).error_count();
-        (stats.messages, errors)
+        let dp = verify_dataplane_scoped(
+            &world.internet,
+            &world.vns,
+            &scope,
+            &DataplaneConfig::default(),
+        )
+        .error_count();
+        (stats.messages, errors, dp)
     };
-    let (m, e) = apply(
+    // Re-certifies a freshly rebuilt path table against the forwarding
+    // graph (the WAYPOINT cross-check) for the new routing epoch.
+    let certify_tables = |world: &World, inj: &FaultInjector, paths: &PathTable| {
+        let scope = VerifyScope::with_dead_routers(inj.dead_routers());
+        verify_dataplane_with_service(
+            &world.internet,
+            &world.vns,
+            &scope,
+            &DataplaneConfig::default(),
+            &endpoints,
+            paths,
+        )
+        .error_count()
+    };
+    let (m, e, dp) = apply(
         &mut world,
         &mut inj,
         FaultEvent::RouterDown { router: border },
     );
     messages += m;
     verify_errors += e;
-    let (prev_cap, torn_down) = orch.fail_pop(victim_id);
+    dataplane_errors += dp;
+    let (prev_cap, torn_down) = orch.fail_pop(victim_id).expect("victim is a known PoP");
     paths = PathTable::build(&world.internet, &world.vns, &endpoints);
+    dataplane_errors += certify_tables(&world, &inj, &paths);
     let routable_during_fault = (paths.routable_endpoints(), total_endpoints);
     run_phase(&mut orch, &world, &endpoints, &paths, FAULT_WINDOWS, par);
 
     // Phase 3: recovery.
-    let (m, e) = apply(
+    let (m, e, dp) = apply(
         &mut world,
         &mut inj,
         FaultEvent::RouterUp { router: border },
     );
     messages += m;
     verify_errors += e;
-    orch.restore_pop(victim_id, prev_cap);
+    dataplane_errors += dp;
+    orch.restore_pop(victim_id, prev_cap)
+        .expect("victim is a known PoP");
     paths = PathTable::build(&world.internet, &world.vns, &endpoints);
+    dataplane_errors += certify_tables(&world, &inj, &paths);
     run_phase(&mut orch, &world, &endpoints, &paths, RECOVERY_WINDOWS, par);
 
     let steady_windows = opts.windows;
@@ -241,6 +285,7 @@ pub fn run(config: &WorldConfig, opts: SteadyStateOpts, par: Par) -> SteadyState
         torn_down,
         reconvergence_messages: messages,
         verify_errors,
+        dataplane_errors,
         routable_during_fault,
     }
 }

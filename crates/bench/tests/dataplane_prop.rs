@@ -1,0 +1,41 @@
+//! Property: the two structural data-plane invariants — LOOP-FREE and
+//! NO-BLACKHOLE — hold on *every* converged world, not just the seeds the
+//! example tests happen to sweep. Seed and routing mode are drawn
+//! arbitrarily; a single counterexample world is a checker bug or a
+//! convergence bug, and proptest will shrink the seed for the postmortem.
+
+use proptest::prelude::*;
+use vns_bench::{World, WorldConfig};
+use vns_core::RoutingMode;
+use vns_verify::{verify_dataplane, Invariant};
+
+fn world(seed: u64, hot: bool) -> World {
+    let mut config = WorldConfig::tiny(seed);
+    config.vns.mode = if hot {
+        RoutingMode::HotPotato
+    } else {
+        RoutingMode::GeoColdPotato
+    };
+    World::build(config)
+}
+
+proptest! {
+    // Each case generates and converges a full world; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_converged_world_is_loop_free_and_blackhole_free(
+        seed in 1u64..10_000,
+        hot in any::<bool>(),
+    ) {
+        let world = world(seed, hot);
+        let report = verify_dataplane(&world.internet, &world.vns);
+        for inv in [Invariant::LoopFree, Invariant::NoBlackhole] {
+            prop_assert!(
+                report.report.of(inv).next().is_none(),
+                "{inv} violated on converged world (seed {seed}, hot {hot}):\n{}",
+                report.render()
+            );
+        }
+    }
+}

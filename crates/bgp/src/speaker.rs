@@ -713,6 +713,67 @@ impl Speaker {
     pub fn best_external_enabled(&self) -> bool {
         self.best_external
     }
+
+    // --- Planted-defect harness (vns-verify mutation corpus) ---------------
+    //
+    // These hooks corrupt the *selected* route in the Loc-RIB in place,
+    // without touching Adj-RIB-In, the Adj-RIB-Out fingerprints, or the
+    // dirty set. The control plane stays quiescent and keeps believing its
+    // own (now wrong) state — exactly the kind of silent forwarding-plane
+    // damage the data-plane model checker exists to catch. The simulator
+    // itself never calls them; only the verification harness does.
+
+    /// Drops the selected route for `prefix` from the Loc-RIB (downstream
+    /// routers still forward here — a silent blackhole). Returns `false`
+    /// when no route was selected.
+    pub fn corrupt_drop_route(&mut self, prefix: &Prefix) -> bool {
+        self.loc_rib.remove(prefix).is_some()
+    }
+
+    /// Rewrites the selected route for `prefix` into an iBGP-style entry
+    /// whose next hop is `next_hop`, keeping the original path attributes.
+    /// Pointing two routers at each other forges a forwarding cycle;
+    /// pointing at an IGP-unreachable or phantom speaker forges a
+    /// blackhole. Returns `false` when no route was selected.
+    pub fn corrupt_redirect_ibgp(&mut self, prefix: &Prefix, next_hop: SpeakerId) -> bool {
+        match self.loc_rib.get_mut(prefix) {
+            Some(cand) => {
+                cand.attrs.next_hop = next_hop;
+                cand.source = RouteSource::Ibgp { peer: next_hop };
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the selected route for `prefix` wholesale, returning the
+    /// previous entry. Lets the harness restore a candidate corruption
+    /// site that turned out unusable and move to the next one.
+    pub fn corrupt_replace_route(&mut self, prefix: Prefix, cand: Candidate) -> Option<Candidate> {
+        self.loc_rib.insert(prefix, cand)
+    }
+
+    /// Rewrites the forwarding peer of an eBGP-selected route for `prefix`
+    /// (the AS-level analogue of a corrupted FIB next hop). Returns `false`
+    /// when the selected route is not eBGP-learned.
+    pub fn corrupt_forward_peer(&mut self, prefix: &Prefix, peer: SpeakerId) -> bool {
+        match self.loc_rib.get_mut(prefix) {
+            Some(cand) => match cand.source {
+                RouteSource::Ebgp {
+                    peer_as, relation, ..
+                } => {
+                    cand.source = RouteSource::Ebgp {
+                        peer,
+                        peer_as,
+                        relation,
+                    };
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

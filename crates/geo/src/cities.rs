@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> = CITIES.iter().map(|c| c.name).collect();
+        let names: std::collections::BTreeSet<_> = CITIES.iter().map(|c| c.name).collect();
         assert_eq!(names.len(), CITIES.len());
     }
 
@@ -253,7 +253,7 @@ mod tests {
         // Europe and Asia; the table must reflect that.
         let ru = cities_in_country("RU");
         assert!(ru.len() >= 3);
-        let regions: std::collections::HashSet<_> = ru.iter().map(|id| city(*id).region).collect();
+        let regions: std::collections::BTreeSet<_> = ru.iter().map(|id| city(*id).region).collect();
         assert!(regions.len() >= 2, "Russian cities must span >=2 regions");
     }
 

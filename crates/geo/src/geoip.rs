@@ -20,8 +20,7 @@
 //! The database is generic over its key type: `vns-bgp` keys it by prefix,
 //! unit tests key it by integers.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -91,21 +90,21 @@ pub enum GeoIpErrorModel {
 
 /// The GeoIP database.
 #[derive(Debug, Clone)]
-pub struct GeoIpDb<K: Copy + Eq + Hash> {
-    records: HashMap<K, Record>,
+pub struct GeoIpDb<K: Copy + Ord> {
+    records: BTreeMap<K, Record>,
 }
 
-impl<K: Copy + Eq + Hash> Default for GeoIpDb<K> {
+impl<K: Copy + Ord> Default for GeoIpDb<K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Copy + Eq + Hash> GeoIpDb<K> {
+impl<K: Copy + Ord> GeoIpDb<K> {
     /// Creates an empty database.
     pub fn new() -> Self {
         Self {
-            records: HashMap::new(),
+            records: BTreeMap::new(),
         }
     }
 
@@ -168,14 +167,10 @@ impl<K: Copy + Eq + Hash> GeoIpDb<K> {
     }
 
     /// Applies an error model to the whole database. Deterministic given
-    /// `seed`; iteration order effects are avoided by keying the per-record
-    /// randomness on a caller-supplied stable ordering.
-    pub fn apply_error_model(&mut self, model: &GeoIpErrorModel, seed: u64)
-    where
-        K: Ord,
-    {
-        let mut keys: Vec<K> = self.records.keys().copied().collect();
-        keys.sort();
+    /// `seed`: the per-record randomness is consumed in key order, which
+    /// the ordered map makes stable by construction.
+    pub fn apply_error_model(&mut self, model: &GeoIpErrorModel, seed: u64) {
+        let keys: Vec<K> = self.records.keys().copied().collect();
         let mut rng = SmallRng::seed_from_u64(seed);
         match model {
             GeoIpErrorModel::CentroidCollapse { country } => {
@@ -219,7 +214,7 @@ impl<K: Copy + Eq + Hash> GeoIpDb<K> {
         }
     }
 
-    /// Iterates over `(key, reported location)` pairs in unspecified order.
+    /// Iterates over `(key, reported location)` pairs in key order.
     pub fn iter_reported(&self) -> impl Iterator<Item = (K, GeoPoint)> + '_ {
         self.records.iter().map(|(k, r)| (*k, r.reported))
     }

@@ -123,7 +123,7 @@ mod tests {
 
     #[test]
     fn codes_unique() {
-        let codes: std::collections::HashSet<_> = Region::ALL.iter().map(|r| r.code()).collect();
+        let codes: std::collections::BTreeSet<_> = Region::ALL.iter().map(|r| r.code()).collect();
         assert_eq!(codes.len(), Region::ALL.len());
     }
 

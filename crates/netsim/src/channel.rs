@@ -14,7 +14,7 @@
 //! slowly varying — the diurnal curve moves over hours, the congestion
 //! fluctuation is resampled every five minutes — so [`PathChannel`]
 //! quantises them per hop on a configurable sim-time **epoch** (default
-//! [`DEFAULT_EPOCH`] = 1 s) into a [`HopEpoch`] snapshot:
+//! [`DEFAULT_EPOCH`] = 1 s) into a `HopEpoch` snapshot:
 //!
 //! * the per-packet loss probability, frozen at the epoch start, with loss
 //!   realised by **geometric gap sampling**

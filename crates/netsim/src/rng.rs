@@ -132,7 +132,7 @@ mod tests {
     fn indexed_streams_differ() {
         let t = RngTree::new(7);
         let s0 = t.seed_for("host");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..1000 {
             let mut r = t.stream_indexed("host", i);
             seen.insert(r.gen::<u64>());

@@ -13,6 +13,8 @@ use std::collections::BTreeMap;
 
 use vns_core::{PopId, Vns};
 
+use crate::error::ServiceError;
+
 /// Outcome of offering one call to the admission controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admission {
@@ -82,63 +84,102 @@ impl AdmissionController {
     }
 
     fn has_room(&self, pop: PopId) -> bool {
-        self.occ[&pop] < self.caps[&pop]
+        match (self.occ.get(&pop), self.caps.get(&pop)) {
+            (Some(&occ), Some(&cap)) => occ < cap,
+            _ => {
+                debug_assert!(false, "has_room on unknown {pop}");
+                false
+            }
+        }
+    }
+
+    /// Books one slot at a PoP that [`AdmissionController::has_room`]
+    /// just vouched for.
+    fn book(&mut self, pop: PopId) {
+        match self.occ.get_mut(&pop) {
+            Some(occ) => {
+                *occ += 1;
+                self.admitted += 1;
+            }
+            None => debug_assert!(false, "book on unknown {pop}"),
+        }
     }
 
     /// Offers a call landing at `landing`; books the slot on admission.
-    pub fn offer(&mut self, landing: PopId) -> Admission {
-        if self.has_room(landing) {
-            *self.occ.get_mut(&landing).expect("known pop") += 1;
-            self.admitted += 1;
-            return Admission::Primary(landing);
+    /// Errs when `landing` is not a PoP this controller apportions.
+    pub fn offer(&mut self, landing: PopId) -> Result<Admission, ServiceError> {
+        if !self.caps.contains_key(&landing) {
+            debug_assert!(false, "offer landing at unknown {landing}");
+            return Err(ServiceError::UnknownPop(landing));
         }
-        let candidates = self.spill[&landing].clone();
+        if self.has_room(landing) {
+            self.book(landing);
+            return Ok(Admission::Primary(landing));
+        }
+        let candidates = self.spill.get(&landing).cloned().unwrap_or_default();
         for admitted in candidates {
             if self.has_room(admitted) {
-                *self.occ.get_mut(&admitted).expect("known pop") += 1;
-                self.admitted += 1;
+                self.book(admitted);
                 self.spilled += 1;
-                return Admission::Spilled { landing, admitted };
+                return Ok(Admission::Spilled { landing, admitted });
             }
         }
         self.rejected += 1;
-        Admission::Rejected
+        Ok(Admission::Rejected)
     }
 
     /// Releases one slot at `pop` (session departed or torn down).
-    pub fn release(&mut self, pop: PopId) {
-        let o = self.occ.get_mut(&pop).expect("known pop");
-        debug_assert!(*o > 0, "release on empty {pop}");
-        *o = o.saturating_sub(1);
+    pub fn release(&mut self, pop: PopId) -> Result<(), ServiceError> {
+        let Some(occ) = self.occ.get_mut(&pop) else {
+            debug_assert!(false, "release at unknown {pop}");
+            return Err(ServiceError::UnknownPop(pop));
+        };
+        debug_assert!(*occ > 0, "release on empty {pop}");
+        *occ = occ.saturating_sub(1);
+        Ok(())
     }
 
     /// Marks a PoP failed: capacity drops to zero so it admits nothing.
     /// Live sessions are the lifecycle manager's to tear down (each one
     /// still calls [`AdmissionController::release`]).
-    pub fn fail_pop(&mut self, pop: PopId) {
-        *self.caps.get_mut(&pop).expect("known pop") = 0;
+    pub fn fail_pop(&mut self, pop: PopId) -> Result<(), ServiceError> {
+        let Some(cap) = self.caps.get_mut(&pop) else {
+            debug_assert!(false, "fail_pop at unknown {pop}");
+            return Err(ServiceError::UnknownPop(pop));
+        };
+        *cap = 0;
+        Ok(())
     }
 
     /// Restores a failed PoP to capacity `cap`.
-    pub fn restore_pop(&mut self, pop: PopId, cap: u64) {
-        *self.caps.get_mut(&pop).expect("known pop") = cap;
+    pub fn restore_pop(&mut self, pop: PopId, cap: u64) -> Result<(), ServiceError> {
+        let Some(slot) = self.caps.get_mut(&pop) else {
+            debug_assert!(false, "restore_pop at unknown {pop}");
+            return Err(ServiceError::UnknownPop(pop));
+        };
+        *slot = cap;
+        Ok(())
     }
 
-    /// Capacity of `pop`.
+    /// Capacity of `pop` (0 for an unknown PoP).
     pub fn capacity(&self, pop: PopId) -> u64 {
-        self.caps[&pop]
+        let cap = self.caps.get(&pop).copied();
+        debug_assert!(cap.is_some(), "capacity of unknown {pop}");
+        cap.unwrap_or(0)
     }
 
-    /// Live sessions at `pop`.
+    /// Live sessions at `pop` (0 for an unknown PoP).
     pub fn occupancy(&self, pop: PopId) -> u64 {
-        self.occ[&pop]
+        let occ = self.occ.get(&pop).copied();
+        debug_assert!(occ.is_some(), "occupancy of unknown {pop}");
+        occ.unwrap_or(0)
     }
 
     /// `(PoP, occupancy, capacity)` rows in id order.
     pub fn occupancy_rows(&self) -> Vec<(PopId, u64, u64)> {
         self.occ
             .iter()
-            .map(|(&p, &o)| (p, o, self.caps[&p]))
+            .map(|(&p, &o)| (p, o, self.caps.get(&p).copied().unwrap_or(0)))
             .collect()
     }
 

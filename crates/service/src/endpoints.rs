@@ -65,9 +65,11 @@ impl EndpointTable {
         self.endpoints[idx]
     }
 
-    /// Total sampling weight (sum of populations, thousands).
+    /// Total sampling weight (sum of populations, thousands; 0 only for
+    /// an empty table, which a successful build never produces).
     pub fn total_weight(&self) -> u64 {
-        *self.cum.last().expect("non-empty")
+        debug_assert!(!self.cum.is_empty(), "total_weight on an empty table");
+        self.cum.last().copied().unwrap_or(0)
     }
 
     /// Samples one endpoint index, population-weighted.

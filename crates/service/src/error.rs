@@ -1,0 +1,30 @@
+//! Typed errors for the service plane.
+
+use std::fmt;
+
+use vns_core::PopId;
+
+/// Error from a service-plane bookkeeping operation.
+///
+/// Every PoP id flowing through the orchestrator originates from the same
+/// [`Vns`](vns_core::Vns) the admission controller was built over, so
+/// these are internal-invariant breaches: the panicking lookups were
+/// burned down to this typed error, with `debug_assert!` twins at the
+/// fault site so debug builds still fail loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The PoP id is not in the admission controller's capacity table.
+    UnknownPop(PopId),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownPop(pop) => {
+                write!(f, "PoP {pop} is not tracked by the admission controller")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -24,6 +24,7 @@
 
 pub mod admission;
 pub mod endpoints;
+pub mod error;
 pub mod lifecycle;
 pub mod orchestrator;
 pub mod paths;
@@ -31,6 +32,7 @@ pub mod telemetry;
 
 pub use admission::{Admission, AdmissionController};
 pub use endpoints::{Endpoint, EndpointTable};
+pub use error::ServiceError;
 pub use lifecycle::{CallOutcome, CallRecord, ServiceEvent, SessionManager};
 pub use orchestrator::{Orchestrator, ServiceConfig, ServiceEnv};
 pub use paths::PathTable;

@@ -27,6 +27,7 @@ use rand::Rng;
 
 use crate::admission::{Admission, AdmissionController};
 use crate::endpoints::EndpointTable;
+use crate::error::ServiceError;
 use crate::lifecycle::{CallOutcome, CallRecord, ServiceEvent, SessionManager};
 use crate::paths::PathTable;
 use crate::telemetry::{ServiceTelemetry, WindowReport};
@@ -178,16 +179,16 @@ impl Orchestrator {
     /// Fails `pop`: capacity drops to zero and every live session on it is
     /// torn down immediately. Returns `(previous capacity, sessions torn)`
     /// — hand the capacity back to [`Orchestrator::restore_pop`] later.
-    pub fn fail_pop(&mut self, pop: PopId) -> (u64, u64) {
+    pub fn fail_pop(&mut self, pop: PopId) -> Result<(u64, u64), ServiceError> {
         let prev = self.admission.capacity(pop);
-        self.admission.fail_pop(pop);
+        self.admission.fail_pop(pop)?;
         let torn = self.lifecycle.force_teardown(pop, &mut self.admission);
-        (prev, torn)
+        Ok((prev, torn))
     }
 
     /// Restores a failed PoP to capacity `cap`.
-    pub fn restore_pop(&mut self, pop: PopId, cap: u64) {
-        self.admission.restore_pop(pop, cap);
+    pub fn restore_pop(&mut self, pop: PopId, cap: u64) -> Result<(), ServiceError> {
+        self.admission.restore_pop(pop, cap)
     }
 
     /// Runs the next `count` telemetry windows against `env`, appending one
@@ -247,42 +248,46 @@ impl Orchestrator {
                         report.unreachable += 1;
                         return;
                     };
-                    match admission.offer(landing) {
-                        Admission::Rejected => report.rejected += 1,
-                        adm => {
-                            let admitted = adm.pop().expect("admitted");
-                            let spilled = matches!(adm, Admission::Spilled { .. });
-                            report.admitted += 1;
-                            if spilled {
-                                report.spilled += 1;
-                            }
-                            let u: f64 = rng.gen();
-                            let hold_ms =
-                                (-(1.0 - u).ln() * cfg.hold_mean.as_millis_f64()).max(1.0);
-                            let departure = ctx.now() + Dur::from_millis_f64(hold_ms);
-                            ctx.schedule_at(
-                                departure,
-                                ServiceEvent::Departure { id, pop: admitted },
-                            );
-                            active.insert(id, admitted);
-                            admitted_calls.push(CallRecord {
-                                id,
-                                arrival: ctx.now(),
-                                departure,
-                                caller,
-                                callee,
-                                landing,
-                                admitted,
-                                spilled,
-                            });
+                    let (admitted, spilled) = match admission.offer(landing) {
+                        Ok(Admission::Primary(pop)) => (pop, false),
+                        Ok(Admission::Spilled { admitted, .. }) => (admitted, true),
+                        // An unknown landing PoP (Err) is an internal
+                        // invariant breach — the debug_assert twin inside
+                        // `offer` fires in debug builds; release builds
+                        // degrade it to a rejection.
+                        Ok(Admission::Rejected) | Err(_) => {
+                            report.rejected += 1;
+                            return;
                         }
+                    };
+                    report.admitted += 1;
+                    if spilled {
+                        report.spilled += 1;
                     }
+                    let u: f64 = rng.gen();
+                    let hold_ms = (-(1.0 - u).ln() * cfg.hold_mean.as_millis_f64()).max(1.0);
+                    let departure = ctx.now() + Dur::from_millis_f64(hold_ms);
+                    ctx.schedule_at(departure, ServiceEvent::Departure { id, pop: admitted });
+                    active.insert(id, admitted);
+                    admitted_calls.push(CallRecord {
+                        id,
+                        arrival: ctx.now(),
+                        departure,
+                        caller,
+                        callee,
+                        landing,
+                        admitted,
+                        spilled,
+                    });
                 }
                 ServiceEvent::Departure { id, pop } => {
                     // Sessions force-torn by a PoP failure already left the
                     // active set; their departure events are no-ops.
                     if active.remove(&id).is_some() {
-                        admission.release(pop);
+                        // The slot was booked at admission on this same
+                        // controller, so release only errs on an internal
+                        // id mix-up — the debug_assert twin covers it.
+                        let _ = admission.release(pop);
                         report.departures += 1;
                     }
                 }

@@ -94,11 +94,10 @@ impl PathTable {
         }
     }
 
-    fn pop_index(&self, id: PopId) -> usize {
-        self.pop_ids
-            .iter()
-            .position(|&p| p == id)
-            .unwrap_or_else(|| panic!("unknown {id}"))
+    fn pop_index(&self, id: PopId) -> Option<usize> {
+        let idx = self.pop_ids.iter().position(|&p| p == id);
+        debug_assert!(idx.is_some(), "unknown {id}");
+        idx
     }
 
     /// The ingress PoP a caller endpoint lands on; `None` when the caller
@@ -112,9 +111,15 @@ impl PathTable {
         self.landings.iter().filter(|l| l.is_some()).count()
     }
 
+    /// The cached PoP→callee tail path, when the PoP has a route.
+    pub fn tail(&self, pop: PopId, callee: usize) -> Option<&ResolvedPath> {
+        let idx = self.pop_index(pop)?;
+        self.tails[idx * self.landings.len() + callee].as_ref()
+    }
+
     /// Whether `pop` currently has a route to `callee`.
     pub fn has_tail(&self, pop: PopId, callee: usize) -> bool {
-        self.tails[self.pop_index(pop) * self.landings.len() + callee].is_some()
+        self.tail(pop, callee).is_some()
     }
 
     /// The full caller→relay→callee media path for a call landed at
@@ -123,7 +128,7 @@ impl PathTable {
     /// `None` when the admitted PoP has no route to the callee.
     pub fn call_path(&self, caller: usize, callee: usize, admitted: PopId) -> Option<ResolvedPath> {
         let (landing, access) = self.landings[caller].as_ref()?;
-        let tail = self.tails[self.pop_index(admitted) * self.landings.len() + callee].as_ref()?;
+        let tail = self.tail(admitted, callee)?;
         let mut hops = access.hops.clone();
         let mut routers = access.routers.clone();
         if *landing == admitted {
@@ -131,14 +136,57 @@ impl PathTable {
             // drop the tail's duplicate of it.
             routers.extend(tail.routers.iter().skip(1).cloned());
         } else {
-            let splice = self.splices
-                [self.pop_index(*landing) * self.pop_ids.len() + self.pop_index(admitted)]
-            .as_ref()
-            .expect("distinct PoPs have a splice leg");
+            // Distinct PoPs always get a splice leg at build time, so a
+            // `None` here means the table was handed an unknown PoP pair.
+            let splice = self
+                .splices
+                .get(self.pop_index(*landing)? * self.pop_ids.len() + self.pop_index(admitted)?)?
+                .as_ref()?;
             hops.push(splice.clone());
             routers.extend(tail.routers.iter().cloned());
         }
         hops.extend(tail.hops.iter().cloned());
         Some(ResolvedPath { hops, routers })
+    }
+
+    // --- Planted-defect harness (vns-verify mutation corpus) ------------
+    //
+    // These hooks corrupt the cached table the way a stale or buggy
+    // rebuild would — the data the admission path trusts goes silently
+    // wrong while the control plane stays healthy. Only the verification
+    // harness calls them.
+
+    /// Rewrites a caller's cached anycast landing to `pop`, keeping the
+    /// (now inconsistent) access path — the shape of a poisoned GeoIP
+    /// landing. Returns `false` when the caller had no landing or the PoP
+    /// is unknown.
+    pub fn corrupt_landing(&mut self, caller: usize, pop: PopId) -> bool {
+        if self.pop_index(pop).is_none() {
+            return false;
+        }
+        match self.landings.get_mut(caller).and_then(|l| l.as_mut()) {
+            Some(entry) => {
+                entry.0 = pop;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Swaps the entire cached tail rows of two PoPs — the shape of a
+    /// wrong-relay path table. Returns `false` for unknown or identical
+    /// PoPs.
+    pub fn corrupt_swap_tails(&mut self, a: PopId, b: PopId) -> bool {
+        let (Some(ia), Some(ib)) = (self.pop_index(a), self.pop_index(b)) else {
+            return false;
+        };
+        if ia == ib {
+            return false;
+        }
+        let n = self.landings.len();
+        for callee in 0..n {
+            self.tails.swap(ia * n + callee, ib * n + callee);
+        }
+        true
     }
 }

@@ -126,7 +126,7 @@ fn admission_spills_then_rejects() {
     let mut spilled = 0;
     let mut rejected = 0;
     for _ in 0..200 {
-        match ctl.offer(landing) {
+        match ctl.offer(landing).expect("landing is a known PoP") {
             vns_service::Admission::Primary(_) => primary += 1,
             vns_service::Admission::Spilled { .. } => spilled += 1,
             vns_service::Admission::Rejected => rejected += 1,
@@ -198,7 +198,7 @@ fn pop_failure_tears_down_and_redirects() {
         .expect("pops exist");
     let before = orch.admission().occupancy(victim);
     assert!(before > 0, "victim should be loaded");
-    let (prev_cap, torn) = orch.fail_pop(victim);
+    let (prev_cap, torn) = orch.fail_pop(victim).expect("victim is a known PoP");
     assert_eq!(torn, before, "all sessions on the dead PoP torn down");
     assert_eq!(orch.admission().occupancy(victim), 0);
     assert_eq!(orch.admission().capacity(victim), 0);
@@ -211,7 +211,8 @@ fn pop_failure_tears_down_and_redirects() {
         "landing traffic must spill off the dead PoP"
     );
     // Restore: the PoP fills up again.
-    orch.restore_pop(victim, prev_cap);
+    orch.restore_pop(victim, prev_cap)
+        .expect("victim is a known PoP");
     orch.run_windows(&e, 2, Par::seq());
     assert!(
         orch.admission().occupancy(victim) > 0,

@@ -18,7 +18,7 @@
 //!   business hours, LTP/STP edges are cleaner; NA is flat across types
 //!   because LTPs there also serve residences.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
 
@@ -250,7 +250,7 @@ fn congestion_with_mean(
 pub struct ChannelFactory {
     config: CalibrationConfig,
     rng: RngTree,
-    blackout_cache: Mutex<HashMap<String, BlackoutSchedule>>,
+    blackout_cache: Mutex<BTreeMap<String, BlackoutSchedule>>,
 }
 
 impl ChannelFactory {
@@ -260,7 +260,7 @@ impl ChannelFactory {
         Self {
             config,
             rng,
-            blackout_cache: Mutex::new(HashMap::new()),
+            blackout_cache: Mutex::new(BTreeMap::new()),
         }
     }
 

@@ -1,0 +1,375 @@
+//! Whole-network forwarding-graph extraction from converged RIBs.
+//!
+//! The control-plane checks audit routers one at a time; this module
+//! derives what the *network* does: for every advertised destination it
+//! computes each speaker's forwarding successor (mirroring
+//! [`vns_topo::path::resolve_path`]'s decision exactly — longest match,
+//! steering-more-specific fall-through, eBGP interconnect choice, iBGP
+//! next-hop IGP resolution) and walks the resulting functional graph.
+//! Because each speaker has at most one successor per destination, every
+//! walk is a rho-shaped chain: terminal fates are memoised and propagated
+//! backwards, so the whole pass is linear in `speakers × destinations`
+//! successor evaluations.
+//!
+//! The output ([`ForwardingAnalysis`]) assigns every reachable source a
+//! [`Terminal`]: delivery at the origin AS, delivery at an anycast
+//! instance, an explicit dead-router sink (under a fault
+//! [`VerifyScope`]), a blackhole with a cause, or membership in a
+//! forwarding cycle. The data-plane properties in [`crate::dataplane`]
+//! are all predicates over this structure.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use vns_bgp::{Prefix, RouteSource, SpeakerId};
+use vns_topo::Internet;
+
+use crate::VerifyScope;
+
+/// Why traffic dies at a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BlackholeCause {
+    /// No covering Loc-RIB entry (the route a neighbour forwarded on no
+    /// longer exists here).
+    NoRoute,
+    /// The selected route forwards to an eBGP peer with no interconnect
+    /// link.
+    NoInterconnect,
+    /// The selected iBGP next hop does not resolve in the AS's IGP.
+    IgpUnreachable,
+    /// The next hop is not a known speaker at all.
+    UnknownSpeaker,
+}
+
+impl fmt::Display for BlackholeCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlackholeCause::NoRoute => f.write_str("no covering route"),
+            BlackholeCause::NoInterconnect => f.write_str("no interconnect to forwarding peer"),
+            BlackholeCause::IgpUnreachable => f.write_str("iBGP next hop IGP-unreachable"),
+            BlackholeCause::UnknownSpeaker => f.write_str("next hop is not a known speaker"),
+        }
+    }
+}
+
+/// Where a speaker's traffic for one destination ultimately ends up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminal {
+    /// Delivered at `at`, a router of the destination's origin AS.
+    Origin {
+        /// The delivering router.
+        at: SpeakerId,
+    },
+    /// Delivered at anycast instance `at` (whichever originating router
+    /// the routes led to).
+    Anycast {
+        /// The instance reached.
+        at: SpeakerId,
+    },
+    /// The walk entered a router declared dead by the [`VerifyScope`] —
+    /// an explicit, accounted-for sink under an injected fault, never a
+    /// silent failure.
+    DeadSink {
+        /// The dead router.
+        at: SpeakerId,
+    },
+    /// Traffic dies at `at`.
+    Blackhole {
+        /// The router where it dies.
+        at: SpeakerId,
+        /// Why.
+        cause: BlackholeCause,
+    },
+    /// Traffic feeds forwarding cycle `idx` in
+    /// [`DestinationAnalysis::cycles`].
+    Cycle {
+        /// Index into the destination's cycle list.
+        idx: usize,
+    },
+}
+
+/// One forwarding decision: where a speaker sends traffic for a
+/// destination, or why it cannot.
+enum Step {
+    /// Delivered here; `anycast` when the destination prefix is anycast.
+    Deliver {
+        /// Whether this is an anycast delivery.
+        anycast: bool,
+    },
+    /// Forwarded to the next BGP-level router.
+    Forward(SpeakerId),
+    /// Dies here.
+    Dead(BlackholeCause),
+}
+
+/// The per-destination slice of the forwarding graph: every speaker that
+/// holds a covering route, with where its traffic ends.
+#[derive(Debug)]
+pub struct DestinationAnalysis {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// The representative host address the graph was derived for.
+    pub ip: u32,
+    /// Terminal fate per reachable source speaker.
+    pub outcomes: BTreeMap<SpeakerId, Terminal>,
+    /// Distinct forwarding cycles, each canonicalised to start at its
+    /// smallest member.
+    pub cycles: Vec<Vec<SpeakerId>>,
+}
+
+impl DestinationAnalysis {
+    /// Sources whose terminal equals `t` (used for affected-source counts).
+    pub fn sources_with(&self, t: Terminal) -> usize {
+        self.outcomes.values().filter(|o| **o == t).count()
+    }
+}
+
+/// The whole-network forwarding analysis: one
+/// [`DestinationAnalysis`] per registered, unshadowed destination prefix.
+#[derive(Debug)]
+pub struct ForwardingAnalysis {
+    /// Per-destination analyses in prefix registration order.
+    pub destinations: Vec<DestinationAnalysis>,
+}
+
+impl ForwardingAnalysis {
+    /// The analysis for a specific destination prefix.
+    pub fn destination(&self, prefix: &Prefix) -> Option<&DestinationAnalysis> {
+        self.destinations.iter().find(|d| d.prefix == *prefix)
+    }
+
+    /// Total (source, destination) pairs analysed.
+    pub fn pairs(&self) -> usize {
+        self.destinations.iter().map(|d| d.outcomes.len()).sum()
+    }
+}
+
+/// Evaluates one speaker's forwarding decision for `dst_ip`, resolving
+/// locally injected steering more-specifics through the same
+/// longest-match-ceiling fall-through as `resolve_path`. Returns `None`
+/// when the speaker holds no covering route at all.
+fn successor(
+    internet: &Internet,
+    cur: SpeakerId,
+    dst_ip: u32,
+    covering: &[Prefix],
+) -> Option<Step> {
+    let speaker = internet.net.speaker(cur)?;
+    // Longest-match ceiling, lowered when falling through an injected
+    // steering more-specific onto its covering route. The ceiling only
+    // ever decreases, so this loop terminates.
+    let mut max_len: Option<u8> = None;
+    loop {
+        let found = covering.iter().find_map(|p| {
+            if max_len.is_some_and(|m| p.len() >= m) {
+                return None;
+            }
+            speaker.best(p).map(|c| (*p, c))
+        });
+        let Some((matched, cand)) = found else {
+            // Nothing under the ceiling. At ceiling `None` the speaker is
+            // simply not a source for this destination; below a lowered
+            // ceiling the fall-through found no covering route, which
+            // `resolve_path` reports as NoRoute — a blackhole.
+            return if max_len.is_some() {
+                Some(Step::Dead(BlackholeCause::NoRoute))
+            } else {
+                None
+            };
+        };
+        let Some(cur_as) = internet.as_of_speaker(cur) else {
+            return Some(Step::Dead(BlackholeCause::UnknownSpeaker));
+        };
+        match cand.source {
+            RouteSource::Local => {
+                let Some(pinfo) = internet.lookup_prefix(dst_ip) else {
+                    // Locally originated but unregistered (pure
+                    // control-plane prefixes): terminates here.
+                    return Some(Step::Deliver { anycast: false });
+                };
+                if pinfo.origin != cur_as {
+                    // A locally injected steering more-specific for someone
+                    // else's prefix (Sec 3.2): resolve over this router's
+                    // *own* external route to the covering prefix, else
+                    // fall through the ceiling onto the covering route.
+                    if matched.len() == 0 {
+                        return Some(Step::Dead(BlackholeCause::NoRoute));
+                    }
+                    let cover = covering
+                        .iter()
+                        .find(|p| p.len() < matched.len() && speaker.best(p).is_some());
+                    let Some(cover) = cover else {
+                        return Some(Step::Dead(BlackholeCause::NoRoute));
+                    };
+                    if let Some(ext) = speaker.best_external_route(cover) {
+                        if let RouteSource::Ebgp { peer, .. } = ext.source {
+                            if internet.links_between(cur, peer).is_empty() {
+                                return Some(Step::Dead(BlackholeCause::NoInterconnect));
+                            }
+                            return Some(Step::Forward(peer));
+                        }
+                    }
+                    max_len = Some(matched.len());
+                    continue;
+                }
+                return Some(Step::Deliver {
+                    anycast: pinfo.anycast,
+                });
+            }
+            RouteSource::Ebgp { peer, .. } => {
+                if internet.net.speaker(peer).is_none() {
+                    return Some(Step::Dead(BlackholeCause::UnknownSpeaker));
+                }
+                if internet.links_between(cur, peer).is_empty() {
+                    return Some(Step::Dead(BlackholeCause::NoInterconnect));
+                }
+                return Some(Step::Forward(peer));
+            }
+            RouteSource::Ibgp { .. } => {
+                let nh = cand.attrs.next_hop;
+                if nh == cur {
+                    // Degenerate self-next-hop: surfaces as a 1-cycle.
+                    return Some(Step::Forward(cur));
+                }
+                if internet.net.speaker(nh).is_none() {
+                    return Some(Step::Dead(BlackholeCause::UnknownSpeaker));
+                }
+                let resolvable = internet
+                    .as_info(cur_as)
+                    .igp
+                    .as_ref()
+                    .and_then(|g| g.shortest_path(cur, nh))
+                    .is_some();
+                if !resolvable {
+                    return Some(Step::Dead(BlackholeCause::IgpUnreachable));
+                }
+                return Some(Step::Forward(nh));
+            }
+        }
+    }
+}
+
+/// Derives the forwarding graph for one destination and walks every
+/// source to its terminal.
+pub fn analyze_destination(
+    internet: &Internet,
+    scope: &VerifyScope,
+    prefix: Prefix,
+    advertised: &BTreeSet<Prefix>,
+) -> DestinationAnalysis {
+    let ip = prefix.first_host();
+    // Covering candidates, most specific first. Two distinct prefixes of
+    // equal length cannot both contain `ip`, so length alone orders the
+    // longest match.
+    let mut covering: Vec<Prefix> = advertised
+        .iter()
+        .filter(|p| p.contains(ip))
+        .copied()
+        .collect();
+    covering.sort_by_key(|p| std::cmp::Reverse(p.len()));
+
+    let mut outcomes: BTreeMap<SpeakerId, Terminal> = BTreeMap::new();
+    let mut cycles: Vec<Vec<SpeakerId>> = Vec::new();
+    let mut cycle_index: BTreeMap<Vec<SpeakerId>, usize> = BTreeMap::new();
+
+    let sources: Vec<SpeakerId> = internet.net.speaker_ids().collect();
+    for src in sources {
+        if outcomes.contains_key(&src) || scope.is_dead(src) {
+            continue;
+        }
+        let mut chain: Vec<SpeakerId> = Vec::new();
+        let mut on_chain: BTreeMap<SpeakerId, usize> = BTreeMap::new();
+        let mut cur = src;
+        let terminal: Option<Terminal> = loop {
+            if let Some(&t) = outcomes.get(&cur) {
+                break Some(t);
+            }
+            if scope.is_dead(cur) {
+                break Some(Terminal::DeadSink { at: cur });
+            }
+            match successor(internet, cur, ip, &covering) {
+                None => {
+                    // `cur` holds no covering route. At the walk's origin
+                    // that just means it is not a source for this
+                    // destination; downstream it is a silent blackhole.
+                    break if chain.is_empty() {
+                        None
+                    } else {
+                        let t = Terminal::Blackhole {
+                            at: cur,
+                            cause: BlackholeCause::NoRoute,
+                        };
+                        Some(t)
+                    };
+                }
+                Some(Step::Deliver { anycast }) => {
+                    let t = if anycast {
+                        Terminal::Anycast { at: cur }
+                    } else {
+                        Terminal::Origin { at: cur }
+                    };
+                    outcomes.insert(cur, t);
+                    break Some(t);
+                }
+                Some(Step::Dead(cause)) => {
+                    let t = Terminal::Blackhole { at: cur, cause };
+                    outcomes.insert(cur, t);
+                    break Some(t);
+                }
+                Some(Step::Forward(next)) => {
+                    on_chain.insert(cur, chain.len());
+                    chain.push(cur);
+                    if let Some(&start) = on_chain.get(&next) {
+                        let mut members: Vec<SpeakerId> = chain[start..].to_vec();
+                        let lead = members
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, s)| **s)
+                            .map_or(0, |(i, _)| i);
+                        members.rotate_left(lead);
+                        let idx = match cycle_index.get(&members) {
+                            Some(&i) => i,
+                            None => {
+                                cycles.push(members.clone());
+                                cycle_index.insert(members, cycles.len() - 1);
+                                cycles.len() - 1
+                            }
+                        };
+                        break Some(Terminal::Cycle { idx });
+                    }
+                    cur = next;
+                }
+            }
+        };
+        if let Some(t) = terminal {
+            for s in chain {
+                outcomes.insert(s, t);
+            }
+        }
+    }
+    DestinationAnalysis {
+        prefix,
+        ip,
+        outcomes,
+        cycles,
+    }
+}
+
+/// Derives and walks the forwarding graph for every registered,
+/// unshadowed destination prefix.
+pub fn analyze(internet: &Internet, scope: &VerifyScope) -> ForwardingAnalysis {
+    let advertised = internet.net.advertised_prefixes();
+    let destinations: Vec<DestinationAnalysis> = internet
+        .prefixes()
+        .filter(|pi| {
+            // A registered prefix shadowed by a more-specific registered
+            // prefix has no representative host of its own; its fate is
+            // the more specific destination's.
+            internet
+                .lookup_prefix(pi.prefix.first_host())
+                .is_some_and(|m| m.prefix == pi.prefix)
+        })
+        .map(|pi| analyze_destination(internet, scope, pi.prefix, &advertised))
+        .collect();
+    ForwardingAnalysis { destinations }
+}

@@ -37,13 +37,25 @@
 //!    next hop reachable in the VNS IGP (a route that wins on LOCAL_PREF
 //!    but cannot be resolved would blackhole traffic).
 //!
+//! Those checks are *local*: each one audits a single router's RIBs. A
+//! control plane can pass all of them and still forward wrongly — two
+//! routers pointing at each other loop traffic even though each next hop
+//! resolves locally. The second stage is therefore a **data-plane model
+//! checker** ([`dataplane`]): it derives the whole-network forwarding
+//! graph from the converged RIBs + IGP next hops ([`forwarding_graph`])
+//! and statically proves five global properties — LOOP-FREE,
+//! NO-BLACKHOLE, ANYCAST-NEAREST, WAYPOINT and STRETCH-BOUND. The checker
+//! itself is validated by a planted-defect corpus ([`mutations`]) with a
+//! measured catch rate.
+//!
 //! The checks assume the network has been run to quiescence
 //! ([`vns_bgp::BgpNet::run`]); on a mid-convergence network they may
 //! report transients.
 //!
-//! Entry point: [`verify`]. The `vns-verify` binary (in `vns-bench`)
-//! pretty-prints the [`Report`] and exits nonzero on errors, and the
-//! campaign drivers run [`verify`] as a fail-fast pre-flight.
+//! Entry points: [`verify`] (stage 1) and [`dataplane::verify_dataplane`]
+//! (stage 2). The `vns-verify` binary (in `vns-bench`) pretty-prints the
+//! [`Report`]s and exits nonzero on errors, and the campaign drivers run
+//! both stages as a fail-fast pre-flight.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -53,6 +65,15 @@ use vns_core::{LocalPrefFn, Vns};
 use vns_topo::Internet;
 
 mod checks;
+pub mod dataplane;
+pub mod forwarding_graph;
+pub mod mutations;
+
+pub use dataplane::{
+    verify_dataplane, verify_dataplane_scoped, verify_dataplane_with_service, DataplaneConfig,
+    DataplaneReport,
+};
+pub use mutations::{plant_defect, PlantedDefect, DEFECT_NAMES};
 
 /// What the verifier should assume about the deployment's health.
 ///
@@ -130,6 +151,19 @@ pub enum Invariant {
     ValleyFree,
     /// IGP resolvability of iBGP next hops.
     NextHopResolution,
+    /// No forwarding cycles anywhere in the derived forwarding graph.
+    LoopFree,
+    /// Every reachable source resolves to an origin (or an explicit
+    /// dead-router sink under a fault scope).
+    NoBlackhole,
+    /// Each client's anycast landing is its geo-nearest live PoP within
+    /// the configured stretch tolerance (the paper's Fig. 3 property).
+    AnycastNearest,
+    /// Admitted calls' forward paths traverse their assigned relay PoP
+    /// (cross-checked against the service plane's `PathTable`).
+    Waypoint,
+    /// Geodesic stretch of egress paths stays under the campaign bound.
+    StretchBound,
 }
 
 impl Invariant {
@@ -143,11 +177,16 @@ impl Invariant {
             Invariant::HiddenRoute => "HIDDEN-ROUTE",
             Invariant::ValleyFree => "VALLEY-FREE",
             Invariant::NextHopResolution => "NEXT-HOP",
+            Invariant::LoopFree => "LOOP-FREE",
+            Invariant::NoBlackhole => "NO-BLACKHOLE",
+            Invariant::AnycastNearest => "ANYCAST-NEAREST",
+            Invariant::Waypoint => "WAYPOINT",
+            Invariant::StretchBound => "STRETCH-BOUND",
         }
     }
 
-    /// All invariants, in report order.
-    pub const ALL: [Invariant; 7] = [
+    /// The control-plane (stage 1) invariants, in report order.
+    pub const CONTROL_PLANE: [Invariant; 7] = [
         Invariant::LpFnShape,
         Invariant::GeoPreference,
         Invariant::NoExportLeak,
@@ -155,6 +194,31 @@ impl Invariant {
         Invariant::HiddenRoute,
         Invariant::ValleyFree,
         Invariant::NextHopResolution,
+    ];
+
+    /// The data-plane (stage 2) properties, in report order.
+    pub const DATA_PLANE: [Invariant; 5] = [
+        Invariant::LoopFree,
+        Invariant::NoBlackhole,
+        Invariant::AnycastNearest,
+        Invariant::Waypoint,
+        Invariant::StretchBound,
+    ];
+
+    /// All invariants across both stages, in report order.
+    pub const ALL: [Invariant; 12] = [
+        Invariant::LpFnShape,
+        Invariant::GeoPreference,
+        Invariant::NoExportLeak,
+        Invariant::OverrideSanity,
+        Invariant::HiddenRoute,
+        Invariant::ValleyFree,
+        Invariant::NextHopResolution,
+        Invariant::LoopFree,
+        Invariant::NoBlackhole,
+        Invariant::AnycastNearest,
+        Invariant::Waypoint,
+        Invariant::StretchBound,
     ];
 }
 
@@ -344,7 +408,7 @@ impl Report {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.is_clean() {
-            out.push_str("vns-verify: control plane clean (7 invariants checked)\n");
+            out.push_str("vns-verify: clean (no violations)\n");
             return out;
         }
         out.push_str(&format!(

@@ -1,0 +1,482 @@
+//! Planted-defect corpus for the data-plane model checker.
+//!
+//! A checker that has never caught anything proves nothing. This module
+//! seeds twelve classes of silent forwarding-plane damage into an
+//! otherwise converged world — forced next-hop cycles, dropped RIB
+//! entries, poisoned landings, wrong-relay path tables — by corrupting
+//! *selected* state only (Loc-RIB entries, cached service tables) so the
+//! control plane still looks healthy to every stage-1 check. The
+//! catch-rate harness (`crates/bench/tests/dataplane.rs`) then asserts
+//! the checker reports each defect with the right check name at the
+//! planted location, and that clean worlds stay at zero findings.
+//!
+//! Every selection below iterates deterministic orders (registration
+//! order for prefixes, id order for speakers and PoPs), so a defect
+//! plants identically for a given world.
+
+use vns_bgp::{Prefix, RouteSource, SpeakerId};
+use vns_core::{Pop, Vns};
+use vns_service::{EndpointTable, PathTable};
+use vns_topo::Internet;
+
+use crate::Invariant;
+
+/// The corpus, in planting order. Defect semantics:
+///
+/// | name | corruption | expected check |
+/// |------|------------|----------------|
+/// | `ibgp-border-cycle` | two PoP borders point an external prefix at each other | LOOP-FREE |
+/// | `ebgp-echo-cycle` | an external AS forwards a prefix back to the AS it heard it from | LOOP-FREE |
+/// | `self-next-hop` | a border's selected next hop is itself | LOOP-FREE |
+/// | `dropped-transit-rib` | a transit hop silently loses its only covering route | NO-BLACKHOLE |
+/// | `dropped-anycast-rib` | same, for the anycast service prefix | NO-BLACKHOLE |
+/// | `igp-unreachable-next-hop` | a border's next hop leaves the VNS IGP | NO-BLACKHOLE |
+/// | `phantom-next-hop` | a border's next hop is no known speaker | NO-BLACKHOLE |
+/// | `anycast-far-landing` | every border re-points the anycast route at the PoP farthest from the client population | ANYCAST-NEAREST |
+/// | `poisoned-landing-table` | a cached caller landing re-homed to the wrong PoP | WAYPOINT |
+/// | `swapped-tails` | two PoPs' cached tail rows exchanged | WAYPOINT |
+/// | `echo-detour` | a border reaches a nearby echo prefix via the farthest border | STRETCH-BOUND |
+/// | `echo-detour-return` | the same detour planted from the opposite end of the backbone | STRETCH-BOUND |
+pub const DEFECT_NAMES: [&str; 12] = [
+    "ibgp-border-cycle",
+    "ebgp-echo-cycle",
+    "self-next-hop",
+    "dropped-transit-rib",
+    "dropped-anycast-rib",
+    "igp-unreachable-next-hop",
+    "phantom-next-hop",
+    "anycast-far-landing",
+    "poisoned-landing-table",
+    "swapped-tails",
+    "echo-detour",
+    "echo-detour-return",
+];
+
+/// What was planted and what the checker must report for it.
+#[derive(Debug, Clone)]
+pub struct PlantedDefect {
+    /// Corpus name (one of [`DEFECT_NAMES`]).
+    pub name: &'static str,
+    /// The check that must fire.
+    pub expect: Invariant,
+    /// When set, a violation of `expect` must be located at this speaker.
+    pub speaker: Option<SpeakerId>,
+    /// When set, a violation of `expect` must name this prefix.
+    pub prefix: Option<Prefix>,
+}
+
+/// Plants one named defect into a converged world. `service` supplies the
+/// cached service-plane tables for the table-corruption defects
+/// (`poisoned-landing-table`, `swapped-tails`); the rest ignore it.
+///
+/// Returns `None` when the world offers no site for the defect (the
+/// harness treats that as a failure — every corpus entry must plant on
+/// every campaign world).
+pub fn plant_defect(
+    name: &str,
+    internet: &mut Internet,
+    vns: &Vns,
+    service: Option<(&EndpointTable, &mut PathTable)>,
+) -> Option<PlantedDefect> {
+    match name {
+        "ibgp-border-cycle" => ibgp_border_cycle(internet, vns),
+        "ebgp-echo-cycle" => ebgp_echo_cycle(internet, vns),
+        "self-next-hop" => self_next_hop(internet, vns),
+        "dropped-transit-rib" => dropped_rib(internet, vns, false),
+        "dropped-anycast-rib" => dropped_rib(internet, vns, true),
+        "igp-unreachable-next-hop" => bad_next_hop(internet, vns, false),
+        "phantom-next-hop" => bad_next_hop(internet, vns, true),
+        "anycast-far-landing" => anycast_far_landing(internet, vns),
+        "poisoned-landing-table" => {
+            service.and_then(|(e, p)| poisoned_landing(internet, vns, e, p))
+        }
+        "swapped-tails" => service.and_then(|(_, p)| swapped_tails(vns, p)),
+        "echo-detour" => echo_detour(internet, vns, false),
+        "echo-detour-return" => echo_detour(internet, vns, true),
+        _ => None,
+    }
+}
+
+/// External (non-VNS) last-mile prefixes in registration order.
+fn external_lastmile(internet: &Internet, vns: &Vns) -> Vec<Prefix> {
+    internet
+        .prefixes()
+        .filter(|p| p.last_mile && p.origin != vns.as_id())
+        .map(|p| p.prefix)
+        .collect()
+}
+
+/// Two PoP borders re-point an external prefix at each other: the
+/// textbook iBGP forwarding cycle.
+fn ibgp_border_cycle(internet: &mut Internet, vns: &Vns) -> Option<PlantedDefect> {
+    let pops = vns.pops();
+    let (a, b) = (pops.first()?.borders[0], pops.get(1)?.borders[0]);
+    let prefix = external_lastmile(internet, vns).into_iter().find(|p| {
+        internet.net.speaker(a).is_some_and(|s| s.best(p).is_some())
+            && internet.net.speaker(b).is_some_and(|s| s.best(p).is_some())
+    })?;
+    internet
+        .net
+        .speaker_mut(a)?
+        .corrupt_redirect_ibgp(&prefix, b);
+    internet
+        .net
+        .speaker_mut(b)?
+        .corrupt_redirect_ibgp(&prefix, a);
+    Some(PlantedDefect {
+        name: "ibgp-border-cycle",
+        expect: Invariant::LoopFree,
+        speaker: Some(a.min(b)),
+        prefix: Some(prefix),
+    })
+}
+
+/// An external AS forwards a prefix straight back to the neighbour it
+/// heard it from: an AS-level forwarding echo.
+fn ebgp_echo_cycle(internet: &mut Internet, vns: &Vns) -> Option<PlantedDefect> {
+    let vns_as = vns.as_id();
+    let speakers: Vec<SpeakerId> = internet.net.speaker_ids().collect();
+    for prefix in external_lastmile(internet, vns) {
+        for &s in &speakers {
+            if internet.as_of_speaker(s) == Some(vns_as) {
+                continue;
+            }
+            let Some(RouteSource::Ebgp { peer: t, .. }) = internet
+                .net
+                .speaker(s)
+                .and_then(|sp| sp.best(&prefix))
+                .map(|c| c.source)
+            else {
+                continue;
+            };
+            if t == s || internet.as_of_speaker(t) == Some(vns_as) {
+                continue;
+            }
+            // T must currently forward elsewhere over eBGP, so the
+            // corruption genuinely reverses an edge.
+            let Some(RouteSource::Ebgp { peer: u, .. }) = internet
+                .net
+                .speaker(t)
+                .and_then(|sp| sp.best(&prefix))
+                .map(|c| c.source)
+            else {
+                continue;
+            };
+            if u == s {
+                continue;
+            }
+            internet
+                .net
+                .speaker_mut(t)?
+                .corrupt_forward_peer(&prefix, s);
+            return Some(PlantedDefect {
+                name: "ebgp-echo-cycle",
+                expect: Invariant::LoopFree,
+                speaker: Some(s.min(t)),
+                prefix: Some(prefix),
+            });
+        }
+    }
+    None
+}
+
+/// A border whose selected next hop is itself: the degenerate 1-cycle.
+fn self_next_hop(internet: &mut Internet, vns: &Vns) -> Option<PlantedDefect> {
+    let a = vns.pops().first()?.borders[0];
+    let prefix = external_lastmile(internet, vns)
+        .into_iter()
+        .find(|p| internet.net.speaker(a).is_some_and(|s| s.best(p).is_some()))?;
+    internet
+        .net
+        .speaker_mut(a)?
+        .corrupt_redirect_ibgp(&prefix, a);
+    Some(PlantedDefect {
+        name: "self-next-hop",
+        expect: Invariant::LoopFree,
+        speaker: Some(a),
+        prefix: Some(prefix),
+    })
+}
+
+/// A transit hop silently drops its only covering route while upstream
+/// neighbours keep forwarding through it.
+fn dropped_rib(internet: &mut Internet, vns: &Vns, anycast: bool) -> Option<PlantedDefect> {
+    let vns_as = vns.as_id();
+    let prefixes = if anycast {
+        vec![vns.anycast_prefix()]
+    } else {
+        external_lastmile(internet, vns)
+    };
+    let speakers: Vec<SpeakerId> = internet.net.speaker_ids().collect();
+    for prefix in prefixes {
+        let ip = prefix.first_host();
+        for &s in &speakers {
+            if internet.as_of_speaker(s) == Some(vns_as) {
+                continue;
+            }
+            let Some(RouteSource::Ebgp { peer: t, .. }) = internet
+                .net
+                .speaker(s)
+                .and_then(|sp| sp.best(&prefix))
+                .map(|c| c.source)
+            else {
+                continue;
+            };
+            if t == s || internet.as_of_speaker(t) == Some(vns_as) {
+                continue;
+            }
+            // After the drop T must hold *no* other covering route, so the
+            // defect is a clean blackhole rather than a re-route.
+            let only_cover = internet
+                .net
+                .speaker(t)
+                .map(|sp| sp.loc_rib_prefixes().filter(|p| p.contains(ip)).count())
+                == Some(1);
+            if !only_cover {
+                continue;
+            }
+            internet.net.speaker_mut(t)?.corrupt_drop_route(&prefix);
+            return Some(PlantedDefect {
+                name: if anycast {
+                    "dropped-anycast-rib"
+                } else {
+                    "dropped-transit-rib"
+                },
+                expect: Invariant::NoBlackhole,
+                speaker: Some(t),
+                prefix: Some(prefix),
+            });
+        }
+    }
+    None
+}
+
+/// A border's selected next hop stops resolving: re-pointed outside the
+/// VNS IGP (`phantom: false`) or at a speaker id that does not exist at
+/// all (`phantom: true`).
+fn bad_next_hop(internet: &mut Internet, vns: &Vns, phantom: bool) -> Option<PlantedDefect> {
+    let vns_as = vns.as_id();
+    let a = vns.pops().first()?.borders[0];
+    let prefix = external_lastmile(internet, vns).into_iter().find(|p| {
+        internet
+            .net
+            .speaker(a)
+            .is_some_and(|s| s.best(p).is_some_and(|c| c.source.is_ibgp()))
+    })?;
+    let target = if phantom {
+        SpeakerId(u32::MAX)
+    } else {
+        internet
+            .net
+            .speaker_ids()
+            .find(|&s| internet.as_of_speaker(s) != Some(vns_as))?
+    };
+    internet
+        .net
+        .speaker_mut(a)?
+        .corrupt_redirect_ibgp(&prefix, target);
+    Some(PlantedDefect {
+        name: if phantom {
+            "phantom-next-hop"
+        } else {
+            "igp-unreachable-next-hop"
+        },
+        expect: Invariant::NoBlackhole,
+        speaker: Some(a),
+        prefix: Some(prefix),
+    })
+}
+
+/// Every border's anycast route re-pointed at one far border — the
+/// landing collapse a poisoned fleet-wide anycast push produces. BGP
+/// still spreads clients across ingress borders, but each border now
+/// tunnels the traffic to the PoP farthest from the client population,
+/// so the landing-distance tail swallows most of the deployment.
+fn anycast_far_landing(internet: &mut Internet, vns: &Vns) -> Option<PlantedDefect> {
+    let anycast = vns.anycast_prefix();
+    // Client prefix locations: the population ANYCAST-NEAREST scores.
+    let clients: Vec<vns_geo::GeoPoint> = internet
+        .prefixes()
+        .filter(|p| p.last_mile)
+        .map(|p| p.location)
+        .collect();
+    // The PoP farthest from the client population in aggregate — the
+    // worst possible single landing.
+    let far_pop = vns.pops().iter().max_by(|a, b| {
+        let da: f64 = clients.iter().map(|c| c.distance_km(&a.location())).sum();
+        let db: f64 = clients.iter().map(|c| c.distance_km(&b.location())).sum();
+        da.total_cmp(&db)
+    })?;
+    let far = far_pop.borders[0];
+    let borders: Vec<SpeakerId> = vns
+        .pops()
+        .iter()
+        .flat_map(|p| p.borders)
+        .filter(|&b| b != far)
+        .collect();
+    let mut planted = false;
+    for b in borders {
+        if let Some(sp) = internet.net.speaker_mut(b) {
+            planted |= sp.corrupt_redirect_ibgp(&anycast, far);
+        }
+    }
+    planted.then_some(PlantedDefect {
+        name: "anycast-far-landing",
+        expect: Invariant::AnycastNearest,
+        speaker: Some(far),
+        prefix: Some(anycast),
+    })
+}
+
+/// A cached caller landing re-homed to a PoP the forwarding graph never
+/// lands it on — the shape of a poisoned GeoIP-driven landing table.
+fn poisoned_landing(
+    internet: &Internet,
+    vns: &Vns,
+    endpoints: &EndpointTable,
+    paths: &mut PathTable,
+) -> Option<PlantedDefect> {
+    let caller = (0..endpoints.len()).find(|&i| paths.landing_pop(i).is_some())?;
+    let actual = paths.landing_pop(caller)?;
+    let wrong: &Pop = vns.pops().iter().find(|p| p.id() != actual)?;
+    if !paths.corrupt_landing(caller, wrong.id()) {
+        return None;
+    }
+    let prefix = internet
+        .lookup_prefix(endpoints.endpoint(caller).ip)
+        .map(|p| p.prefix);
+    Some(PlantedDefect {
+        name: "poisoned-landing-table",
+        expect: Invariant::Waypoint,
+        speaker: Some(wrong.borders[0]),
+        prefix,
+    })
+}
+
+/// Two PoPs' cached tail rows exchanged — a wrong-relay path table.
+fn swapped_tails(vns: &Vns, paths: &mut PathTable) -> Option<PlantedDefect> {
+    let pops = vns.pops();
+    let (a, b) = (pops.first()?, pops.get(1)?);
+    if !paths.corrupt_swap_tails(a.id(), b.id()) {
+        return None;
+    }
+    Some(PlantedDefect {
+        name: "swapped-tails",
+        expect: Invariant::Waypoint,
+        speaker: Some(a.borders[0]),
+        prefix: None,
+    })
+}
+
+/// A border reaches a *nearby* echo prefix via a distant PoP's border:
+/// the path still delivers (the far border holds a clean iBGP route to
+/// the true origin), but the ride is a continent-scale detour.
+///
+/// Site selection maximises the violation margin — the detour's
+/// great-circle lower bound minus the default STRETCH-BOUND allowance —
+/// so the planted path exceeds the bound by construction, not by luck.
+/// `from_tail` picks the best site whose source PoP differs from the
+/// primary one, giving the corpus two independent instances.
+fn echo_detour(internet: &mut Internet, vns: &Vns, from_tail: bool) -> Option<PlantedDefect> {
+    let pops = vns.pops();
+    let cfg = crate::DataplaneConfig::default();
+    let mut sites: Vec<(f64, &Pop, &Pop, &Pop)> = Vec::new();
+    for q in pops {
+        for near in pops {
+            if near.id() == q.id() || !vns.echo_servers().iter().any(|e| e.pop == near.id()) {
+                continue;
+            }
+            for far in pops {
+                if far.id() == q.id() || far.id() == near.id() {
+                    continue;
+                }
+                let detour = q.location().distance_km(&far.location())
+                    + far.location().distance_km(&near.location());
+                let allowed = cfg.stretch_bound * q.location().distance_km(&near.location())
+                    + cfg.stretch_slack_km;
+                sites.push((detour - allowed, q, near, far));
+            }
+        }
+    }
+    sites.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id().cmp(&b.1.id())));
+    // The great-circle margin ranks candidate sites, but whether a detour
+    // actually *resolves* (instead of folding into an IGP revisit that
+    // `resolve_path` reports as a loop) depends on the backbone geometry.
+    // Validate each site by applying the corruption and replaying the
+    // exact path the STRETCH-BOUND check will measure; restore and move
+    // on when the site does not produce a clean, bound-breaking ride.
+    let mut primary_q = None;
+    for &(margin, q, near, far) in &sites {
+        if margin <= 1_000.0 {
+            // Remaining sites cannot clear the bound comfortably: refuse
+            // to plant a defect the checker is not guaranteed to catch.
+            return None;
+        }
+        let echo = vns
+            .echo_servers()
+            .iter()
+            .find(|e| e.pop == near.id())?
+            .prefix;
+        let start = q.borders[0];
+        // The far border must hold its own (clean) route whose next hop is
+        // not the router we corrupt, or the detour trivially cycles.
+        let Some(far_border) = far.borders.into_iter().find(|&b| {
+            internet.net.speaker(b).is_some_and(|s| {
+                s.best(&echo)
+                    .is_some_and(|c| c.attrs.next_hop != start && c.source.peer() != Some(start))
+            })
+        }) else {
+            continue;
+        };
+        let Some(original) = internet
+            .net
+            .speaker(start)
+            .and_then(|s| s.best(&echo))
+            .cloned()
+        else {
+            continue;
+        };
+        internet
+            .net
+            .speaker_mut(start)?
+            .corrupt_redirect_ibgp(&echo, far_border);
+        let gc = q.location().distance_km(
+            &internet
+                .prefixes()
+                .find(|p| p.prefix == echo)
+                .map_or_else(|| near.location(), |p| p.location),
+        );
+        let rides = vns
+            .path_via_vns(internet, q.id(), echo.first_host())
+            .is_ok_and(|path| path.total_km() > cfg.stretch_bound * gc + cfg.stretch_slack_km);
+        let site_ok = rides
+            && match (from_tail, primary_q) {
+                // The primary defect takes the best workable site; the
+                // return variant skips that site's source PoP so the two
+                // corpus entries are independent.
+                (false, _) => true,
+                (true, None) => {
+                    primary_q = Some(q.id());
+                    false
+                }
+                (true, Some(pq)) => q.id() != pq,
+            };
+        if site_ok {
+            return Some(PlantedDefect {
+                name: if from_tail {
+                    "echo-detour-return"
+                } else {
+                    "echo-detour"
+                },
+                expect: Invariant::StretchBound,
+                speaker: Some(start),
+                prefix: Some(echo),
+            });
+        }
+        internet
+            .net
+            .speaker_mut(start)?
+            .corrupt_replace_route(echo, original);
+    }
+    None
+}
