@@ -5,10 +5,10 @@
 //!           [--threads N] [--out DIR] <cmd>
 //!
 //! cmd: fig3 | as-congruence | fig4 | fig5 | fig6 | fig7 | fig9 | fig10 |
-//!      fig11 | fig12 | table1 | jitter | steady-state |
-//!      ablate-lp | ablate-best-external | ablate-geoip | ablate-fec |
-//!      ablate-l2 | ablate-mode | ablate-measurement | ablate-auto-override |
-//!      economics | setup-time | all
+//!      fig11 | fig12 | table1 | jitter | steady-state | failover |
+//!      adversarial | ablate-lp | ablate-best-external | ablate-geoip |
+//!      ablate-fec | ablate-l2 | ablate-mode | ablate-measurement |
+//!      ablate-auto-override | economics | setup-time | all
 //! ```
 //!
 //! Results print to stdout as labelled series/tables (see EXPERIMENTS.md
@@ -28,8 +28,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use vns_bench::experiments::{
-    ablate, congruence, failover, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig9, jitter,
-    steady_state, table1,
+    ablate, adversarial, congruence, failover, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7,
+    fig9, jitter, steady_state, table1,
 };
 use vns_bench::{World, WorldConfig};
 use vns_netsim::{Dur, Par};
@@ -108,8 +108,8 @@ fn parse_args() -> Result<Opts, String> {
 
 const USAGE: &str = "usage: vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] [--threads N] [--out DIR] <experiment>\n\
 experiments: fig3 as-congruence fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 table1 jitter\n\
-             steady-state failover ablate-lp ablate-best-external ablate-geoip ablate-fec ablate-l2 ablate-mode\n\
-             ablate-measurement ablate-auto-override economics setup-time all\n\
+             steady-state failover adversarial ablate-lp ablate-best-external ablate-geoip ablate-fec\n\
+             ablate-l2 ablate-mode ablate-measurement ablate-auto-override economics setup-time all\n\
 --threads 0 (default) uses every hardware thread; artefacts are byte-identical at any count";
 
 fn campaign_span(opts: &Opts) -> Dur {
@@ -328,6 +328,18 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
             let r = timed(rec, "failover", || failover::run(&cfg, par));
             emit(opts, cmd, r.to_string())?;
         }
+        "adversarial" => {
+            // Every unit mutates its own world (attacks rewrite the
+            // control plane), so only the shared config crosses into the
+            // parallel units.
+            let cfg = WorldConfig {
+                seed: opts.seed,
+                scale: opts.scale,
+                ..WorldConfig::default()
+            };
+            let r = timed(rec, "adversarial", || adversarial::run(&cfg, par));
+            emit(opts, cmd, r.to_string())?;
+        }
         "jitter" => {
             let w = World::geo(opts.seed, opts.scale);
             let r = timed(rec, "jitter", || {
@@ -471,6 +483,10 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
             println!(
                 "{}",
                 timed(rec, "failover", || failover::run(&w.config, par))
+            );
+            println!(
+                "{}",
+                timed(rec, "adversarial", || adversarial::run(&w.config, par))
             );
             let ss = steady_state::SteadyStateOpts::from_cli(opts.sessions, opts.days);
             emit(

@@ -1,6 +1,7 @@
 //! One module per paper artefact (see the crate docs for the index).
 
 pub mod ablate;
+pub mod adversarial;
 pub mod congruence;
 pub mod failover;
 pub mod fig10;

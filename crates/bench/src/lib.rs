@@ -25,6 +25,8 @@
 //! | [`experiments::jitter`] | Sec 5.1.1 — jitter percentiles |
 //! | [`experiments::ablate`] | beyond-paper ablations (lp shape, best-external, GeoIP errors, FEC/ARQ, L2 topology) |
 //! | [`experiments::failover`] | beyond-paper failure & reconvergence campaign (link/PoP/RR faults, outage windows) |
+//! | [`experiments::steady_state`] | beyond-paper live call churn with a churn-under-failure phase |
+//! | [`experiments::adversarial`] | beyond-paper attack corpus vs the verifier — detection matrix and catch rate |
 
 pub mod campaign;
 pub mod experiments;

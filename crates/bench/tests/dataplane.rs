@@ -4,6 +4,8 @@
 //! name at the planted location. A checker proves nothing until it has
 //! demonstrably caught something.
 
+mod testworld;
+
 use vns_bench::World;
 use vns_service::{EndpointTable, PathTable};
 use vns_verify::{
@@ -11,8 +13,7 @@ use vns_verify::{
     DataplaneReport, Invariant, VerifyScope, DEFECT_NAMES,
 };
 
-const SEEDS: [u64; 3] = [21, 77, 1234];
-const SCALE: f64 = 0.35;
+use testworld::SWEEP_SEEDS as SEEDS;
 
 fn verify_world(world: &World) -> DataplaneReport {
     let endpoints = EndpointTable::build(&world.internet, &world.vns);
@@ -34,11 +35,7 @@ fn verify_world(world: &World) -> DataplaneReport {
 fn clean_worlds_have_zero_findings() {
     for seed in SEEDS {
         for hot in [false, true] {
-            let world = if hot {
-                World::hot(seed, SCALE)
-            } else {
-                World::geo(seed, SCALE)
-            };
+            let world = testworld::sweep(seed, hot);
             let report = verify_world(&world);
             assert!(
                 report.report.is_clean(),
@@ -131,7 +128,7 @@ fn geo_catch_rate_is_total() {
     for seed in SEEDS {
         let mut caught = 0;
         for name in DEFECT_NAMES {
-            let mut world = World::geo(seed, SCALE);
+            let mut world = testworld::sweep(seed, false);
             let (planted, report) = plant_and_verify(&mut world, name);
             assert_caught(&planted, &report, &format!("geo seed {seed}"));
             caught += 1;
@@ -155,7 +152,7 @@ fn hot_catch_rate_covers_mode_independent_defects() {
         if geo_only.contains(&name) {
             continue;
         }
-        let mut world = World::hot(77, SCALE);
+        let mut world = testworld::sweep(77, true);
         let (planted, report) = plant_and_verify(&mut world, name);
         assert_caught(&planted, &report, "hot seed 77");
     }
@@ -168,7 +165,7 @@ fn hot_catch_rate_covers_mode_independent_defects() {
 /// delivery — so this asserts the expected check fires, not exclusivity.)
 #[test]
 fn defect_reports_carry_check_name_and_location() {
-    let mut world = World::geo(77, SCALE);
+    let mut world = testworld::sweep(77, false);
     let (planted, report) = plant_and_verify(&mut world, "ibgp-border-cycle");
     assert_eq!(planted.expect, Invariant::LoopFree);
     let hit = report
@@ -190,7 +187,7 @@ fn defect_reports_carry_check_name_and_location() {
 /// traffic is an explicit DeadSink, not a blackhole).
 #[test]
 fn scoped_verification_accepts_declared_dead_routers() {
-    let world = World::geo(21, SCALE);
+    let world = testworld::sweep(21, false);
     let dead = world.vns.pops()[0].borders[0];
     // Without the scope the dead router is just... alive, so the graph is
     // clean either way here; the point is that declaring routers dead

@@ -4,20 +4,12 @@
 //! arbitrarily; a single counterexample world is a checker bug or a
 //! convergence bug, and proptest will shrink the seed for the postmortem.
 
+mod testworld;
+
 use proptest::prelude::*;
-use vns_bench::{World, WorldConfig};
-use vns_core::RoutingMode;
 use vns_verify::{verify_dataplane, Invariant};
 
-fn world(seed: u64, hot: bool) -> World {
-    let mut config = WorldConfig::tiny(seed);
-    config.vns.mode = if hot {
-        RoutingMode::HotPotato
-    } else {
-        RoutingMode::GeoColdPotato
-    };
-    World::build(config)
-}
+use testworld::tiny_mode as world;
 
 proptest! {
     // Each case generates and converges a full world; keep the count low.

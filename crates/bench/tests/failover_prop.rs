@@ -4,16 +4,14 @@
 //! after restoring every severed session, the vns-verify invariant suite
 //! still passes — churn must leave no residue.
 
+mod testworld;
+
 use proptest::prelude::*;
 use vns_bgp::{PathError, SpeakerId};
-use vns_core::{build_vns, FaultEvent, FaultInjector, Vns, VnsConfig};
-use vns_topo::{generate, Internet, TopoConfig};
+use vns_core::{FaultEvent, FaultInjector, Vns};
+use vns_topo::Internet;
 
-fn world(seed: u64) -> (Internet, Vns) {
-    let mut internet = generate(&TopoConfig::tiny(seed)).expect("generate");
-    let vns = build_vns(&mut internet, &VnsConfig::default()).expect("converge");
-    (internet, vns)
-}
+use testworld::raw_tiny as world;
 
 /// Every BGP session touching a VNS router (eBGP to upstreams/peers and
 /// iBGP to the reflectors), canonically ordered and deduplicated.

@@ -8,14 +8,16 @@
 //! `vns-bench` prints and writes with `--out`) at `--threads 1` and
 //! `--threads 8` from freshly built worlds and compares the strings.
 
-use vns_bench::experiments::{failover, fig10, fig11, fig3, fig9, steady_state, table1};
-use vns_bench::{World, WorldConfig};
+mod testworld;
+
+use vns_bench::experiments::{
+    adversarial, failover, fig10, fig11, fig3, fig9, steady_state, table1,
+};
+use vns_bench::World;
 use vns_netsim::{Dur, Par};
 
-const SEED: u64 = 2024;
-
 fn tiny_world() -> World {
-    World::build(WorldConfig::tiny(SEED))
+    testworld::tiny(testworld::REPRO_SEED)
 }
 
 /// Renders one artefact at a given thread count, world built fresh so no
@@ -85,6 +87,16 @@ fn failover_artefact_is_byte_identical_across_thread_counts() {
     // thread counts.
     assert_identical("failover", |w, par| {
         failover::run(&w.config, par).to_string()
+    });
+}
+
+#[test]
+fn adversarial_artefact_is_byte_identical_across_thread_counts() {
+    // Each unit rebuilds and attacks its own world; this pins the whole
+    // corpus — attack staging, incremental reconvergence, both verifier
+    // stages, flow replay and the live call slice — across thread counts.
+    assert_identical("adversarial", |w, par| {
+        adversarial::run(&w.config, par).to_string()
     });
 }
 

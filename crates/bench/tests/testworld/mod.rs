@@ -1,0 +1,61 @@
+//! Shared world-building support for the integration tests.
+//!
+//! Every suite used to roll its own near-identical helper (a tiny world at
+//! a pinned seed, a seed-sweep world per routing mode, a tiny world with a
+//! mode override, a raw `(Internet, Vns)` pair). They live here once; each
+//! test binary pulls this in with `mod testworld;`.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use vns_bench::{World, WorldConfig};
+use vns_core::{build_vns, RoutingMode, Vns, VnsConfig};
+use vns_topo::{generate, Internet, TopoConfig};
+
+/// Fixed seed of the cross-thread reproducibility suite.
+pub const REPRO_SEED: u64 = 2024;
+
+/// The certification seed sweep (matches the CI verify-dataplane leg).
+pub const SWEEP_SEEDS: [u64; 3] = [21, 77, 1234];
+
+/// Scale the certification sweep builds at (large enough for every PoP and
+/// prefix class, small enough to sweep quickly).
+pub const SWEEP_SCALE: f64 = 0.35;
+
+/// The routing mode a `hot` flag selects.
+pub fn mode(hot: bool) -> RoutingMode {
+    if hot {
+        RoutingMode::HotPotato
+    } else {
+        RoutingMode::GeoColdPotato
+    }
+}
+
+/// A tiny world at `seed` with default (geo) routing.
+pub fn tiny(seed: u64) -> World {
+    World::build(WorldConfig::tiny(seed))
+}
+
+/// A tiny world at `seed` with an explicit routing mode.
+pub fn tiny_mode(seed: u64, hot: bool) -> World {
+    let mut config = WorldConfig::tiny(seed);
+    config.vns.mode = mode(hot);
+    World::build(config)
+}
+
+/// A seed-sweep world at [`SWEEP_SCALE`] in the given mode.
+pub fn sweep(seed: u64, hot: bool) -> World {
+    if hot {
+        World::hot(seed, SWEEP_SCALE)
+    } else {
+        World::geo(seed, SWEEP_SCALE)
+    }
+}
+
+/// A raw `(Internet, Vns)` pair from a tiny topology — for suites that
+/// mutate the control plane directly and don't need `World`'s channel
+/// factory or RNG tree.
+pub fn raw_tiny(seed: u64) -> (Internet, Vns) {
+    let mut internet = generate(&TopoConfig::tiny(seed)).expect("generate");
+    let vns = build_vns(&mut internet, &VnsConfig::default()).expect("converge");
+    (internet, vns)
+}

@@ -25,6 +25,7 @@
 //! hook — the paper's "before" configuration that Figs 4 and 5 compare
 //! against.
 
+pub mod adversary;
 pub mod build;
 pub mod config;
 pub mod economics;
@@ -35,6 +36,7 @@ pub mod mgmt;
 pub mod pops;
 pub mod service;
 
+pub use adversary::{launch as launch_attack, AttackError, AttackKind, LaunchedAttack};
 pub use build::build_vns;
 pub use config::{RoutingMode, VnsConfig};
 pub use economics::{analyze as analyze_economics, CostBreakdown, CostModel, Demand};

@@ -25,8 +25,9 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::cities::country_centroid;
+use crate::cities::{cities_in_region, city, country_centroid};
 use crate::coords::GeoPoint;
+use crate::region::Region;
 
 /// Lookup failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,30 @@ pub enum GeoIpErrorModel {
     CityJitter {
         /// Maximum displacement in kilometres.
         max_km: f64,
+    },
+    /// Adversarial poisoning: relocate every prefix registered in a
+    /// country of region `from` to a (deterministically) random city of
+    /// region `to`. Unlike the benign models above this is not an
+    /// accuracy artefact — it is what a compromised GeoIP feed looks
+    /// like when an attacker wants a whole region's traffic routed to
+    /// the wrong continent.
+    RegionSwap {
+        /// Region whose prefixes are rewritten.
+        from: Region,
+        /// Region whose cities the poisoned feed reports instead.
+        to: Region,
+    },
+    /// Adversarial poisoning: drag every reported location `weight`
+    /// (`0..=1`) of the way toward `target`. A targeted variant of
+    /// jitter — instead of random noise, the attacker biases the whole
+    /// feed toward a point of their choosing (e.g. a PoP they can tap),
+    /// which systematically skews geo-derived LOCAL_PREFs.
+    AdversarialShift {
+        /// The point the poisoned feed pulls locations toward.
+        target: GeoPoint,
+        /// How far toward `target` each record moves (0 = no-op,
+        /// 1 = every record reports exactly `target`).
+        weight: f64,
     },
 }
 
@@ -211,6 +236,35 @@ impl<K: Copy + Ord> GeoIpDb<K> {
                         GeoPoint::new(rec.reported.lat_deg + dlat, rec.reported.lon_deg + dlon);
                 }
             }
+            GeoIpErrorModel::RegionSwap { from, to } => {
+                let countries: std::collections::BTreeSet<&str> = cities_in_region(*from)
+                    .into_iter()
+                    .map(|c| city(c).country)
+                    .collect();
+                let targets = cities_in_region(*to);
+                if targets.is_empty() {
+                    return;
+                }
+                for k in keys {
+                    // Consume randomness for every key so hits don't shift
+                    // when unrelated records are added.
+                    let pick = targets[rng.gen_range(0..targets.len())];
+                    let rec = self.records.get_mut(&k).expect("key from map");
+                    if countries.contains(rec.country.as_str()) {
+                        rec.reported = city(pick).location;
+                    }
+                }
+            }
+            GeoIpErrorModel::AdversarialShift { target, weight } => {
+                let w = weight.clamp(0.0, 1.0);
+                for k in keys {
+                    let rec = self.records.get_mut(&k).expect("key from map");
+                    rec.reported = GeoPoint::new(
+                        rec.reported.lat_deg + (target.lat_deg - rec.reported.lat_deg) * w,
+                        rec.reported.lon_deg + (target.lon_deg - rec.reported.lon_deg) * w,
+                    );
+                }
+            }
         }
     }
 
@@ -300,6 +354,59 @@ mod tests {
         }
         let mean: f64 = (0..100).map(|k| db.error_km(k).unwrap()).sum::<f64>() / 100.0;
         assert!(mean > 10.0, "jitter should actually displace records");
+    }
+
+    #[test]
+    fn region_swap_relocates_only_the_target_region() {
+        let mut db: GeoIpDb<u32> = GeoIpDb::new();
+        db.insert(1, city_by_name("Amsterdam").unwrap().1.location, "NL");
+        db.insert(2, moscow(), "RU");
+        db.insert(3, city_by_name("Mumbai").unwrap().1.location, "IN");
+        db.apply_error_model(
+            &GeoIpErrorModel::RegionSwap {
+                from: crate::Region::Europe,
+                to: crate::Region::AsiaPacific,
+            },
+            11,
+        );
+        // Both European prefixes land on Asia-Pacific cities, thousands of
+        // kilometres from home.
+        assert!(db.error_km(1).unwrap() > 2000.0);
+        assert!(db.error_km(2).unwrap() > 1000.0);
+        // The Indian prefix is untouched.
+        assert_eq!(db.error_km(3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn adversarial_shift_drags_toward_target() {
+        let toronto = city_by_name("Toronto").unwrap().1.location;
+        let mut db: GeoIpDb<u32> = GeoIpDb::new();
+        db.insert(1, moscow(), "RU");
+        db.apply_error_model(
+            &GeoIpErrorModel::AdversarialShift {
+                target: toronto,
+                weight: 1.0,
+            },
+            5,
+        );
+        let got = db.lookup(1).unwrap();
+        assert!(got.distance_km(&toronto) < 1.0, "weight 1 pins to target");
+
+        let mut half: GeoIpDb<u32> = GeoIpDb::new();
+        half.insert(1, moscow(), "RU");
+        half.apply_error_model(
+            &GeoIpErrorModel::AdversarialShift {
+                target: toronto,
+                weight: 0.5,
+            },
+            5,
+        );
+        let part = half.error_km(1).unwrap();
+        assert!(part > 500.0, "half weight still displaces, got {part}");
+        assert!(
+            part < db.error_km(1).unwrap() + 1.0 && part < moscow().distance_km(&toronto),
+            "half weight moves less than the full span"
+        );
     }
 
     #[test]

@@ -219,3 +219,74 @@ fn pop_failure_tears_down_and_redirects() {
         "restored PoP takes calls"
     );
 }
+
+/// Exercises one admission-controller mutator with a PoP id the
+/// controller does not apportion. Debug builds fail the twin
+/// `debug_assert!` at the fault site; release builds degrade to the
+/// typed `ServiceError::UnknownPop`.
+fn assert_unknown_pop<T: std::fmt::Debug>(
+    ctl: &mut AdmissionController,
+    ghost: vns_core::PopId,
+    op: impl FnOnce(&mut AdmissionController) -> Result<T, vns_service::ServiceError>,
+) {
+    if cfg!(debug_assertions) {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(ctl)));
+        assert!(
+            outcome.is_err(),
+            "debug build must assert at the fault site for unknown {ghost}"
+        );
+    } else {
+        match op(ctl) {
+            Err(vns_service::ServiceError::UnknownPop(p)) => assert_eq!(p, ghost),
+            other => panic!("expected UnknownPop({ghost}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn offer_at_unknown_pop_is_a_typed_error() {
+    let w = world(11);
+    let mut ctl = AdmissionController::new(&w.vns, 40, 2);
+    let ghost = vns_core::PopId(200);
+    assert!(!w.vns.pops().iter().any(|p| p.id() == ghost));
+    assert_unknown_pop(&mut ctl, ghost, |c| c.offer(ghost));
+    // The failed offer books nothing and counts nowhere.
+    assert_eq!(ctl.total_admitted(), 0);
+    assert_eq!(ctl.total_rejected(), 0);
+    assert_eq!(ctl.total_occupancy(), 0);
+}
+
+#[test]
+fn release_at_unknown_pop_is_a_typed_error() {
+    let w = world(11);
+    let mut ctl = AdmissionController::new(&w.vns, 40, 2);
+    let ghost = vns_core::PopId(201);
+    assert_unknown_pop(&mut ctl, ghost, |c| c.release(ghost));
+    assert_eq!(ctl.total_occupancy(), 0);
+}
+
+#[test]
+fn fail_pop_at_unknown_pop_is_a_typed_error() {
+    let w = world(11);
+    let mut ctl = AdmissionController::new(&w.vns, 40, 2);
+    let ghost = vns_core::PopId(202);
+    assert_unknown_pop(&mut ctl, ghost, |c| c.fail_pop(ghost));
+    // No real PoP lost capacity as a side effect.
+    for pop in w.vns.pops() {
+        assert!(
+            ctl.capacity(pop.id()) > 0,
+            "{} capacity clobbered",
+            pop.id()
+        );
+    }
+}
+
+#[test]
+fn restore_pop_at_unknown_pop_is_a_typed_error() {
+    let w = world(11);
+    let mut ctl = AdmissionController::new(&w.vns, 40, 2);
+    let ghost = vns_core::PopId(203);
+    assert_unknown_pop(&mut ctl, ghost, |c| c.restore_pop(ghost, 7));
+    // The ghost gained no capacity: a follow-up mutator still errs.
+    assert_unknown_pop(&mut ctl, ghost, |c| c.fail_pop(ghost));
+}
