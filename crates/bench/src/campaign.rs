@@ -204,12 +204,16 @@ impl MediaArm {
 /// `sessions_per_arm` two-minute sessions, one every 30 minutes (the
 /// paper's cadence), starting at `start`.
 ///
-/// One work unit per (client, echo, via) arm. Each arm's recording
-/// schedule draws from its own RNG stream keyed by the arm label — a pure
-/// function of `(master seed, arm)`, not of which arms ran before it — and
-/// the sessions within an arm stay sequential so the shared forward/return
-/// channel walks its loss-process state exactly as a real back-to-back
-/// campaign would.
+/// One work unit per (arm, session): every session's recording schedule
+/// and channel state are pure functions of `(master seed, arm, session
+/// index)` — stable sub-unit labels in the [`vns_netsim::RngTree`] scheme
+/// — never of which units ran before it. Splitting below the arm matters
+/// for load balance: fig9's 36 arms become 1440 units, so 8 threads stay
+/// busy instead of tail-waiting on the last coarse arm. Sessions of one
+/// arm are 30 simulated minutes apart — far beyond every correlation
+/// scale in the loss models — so re-deriving channel state per session
+/// leaves the measured distributions unchanged while making the unit
+/// order irrelevant: artefacts are byte-identical at any `--threads N`.
 pub fn media_campaign(
     world: &World,
     clients: &[PopId],
@@ -230,7 +234,7 @@ pub fn media_campaign(
             (e.pop, region, e.address())
         })
         .collect();
-    let mut arms: Vec<(MediaArm, u32)> = Vec::new();
+    let mut units: Vec<(MediaArm, u32, u32)> = Vec::new();
     for &client in clients {
         for &(echo_pop, region, addr) in &echo {
             for via_vns in [true, false] {
@@ -240,14 +244,16 @@ pub fn media_campaign(
                     region,
                     via_vns,
                 };
-                arms.push((arm, addr));
+                for s in 0..sessions_per_arm as u32 {
+                    units.push((arm, addr, s));
+                }
             }
         }
     }
     let tree = vns_netsim::RngTree::new(world.config.seed)
         .subtree("media-campaign")
         .subtree(spec.name);
-    let per_arm: Vec<Vec<(MediaArm, SessionReport)>> = par.map(&arms, |_, &(arm, addr)| {
+    let per_unit: Vec<Option<(MediaArm, SessionReport)>> = par.map(&units, |_, &(arm, addr, s)| {
         let path = if arm.via_vns {
             world.vns.path_via_vns(&world.internet, arm.client, addr)
         } else {
@@ -255,28 +261,27 @@ pub fn media_campaign(
                 .vns
                 .path_via_upstream(&world.internet, arm.client, addr)
         };
-        let Ok(path) = path else { return Vec::new() };
-        let label = format!(
-            "media:{}:{}:{}:{}",
-            spec.name, arm.client.0, arm.echo_pop.0, arm.via_vns
+        let Ok(path) = path else { return None };
+        let (mut fwd, mut rev) = channel_pair_args(
+            world,
+            &path,
+            format_args!(
+                "media:{}:{}:{}:{}:s{s}",
+                spec.name, arm.client.0, arm.echo_pop.0, arm.via_vns
+            ),
         );
-        let mut rng = tree.stream(&format!(
-            "arm:{}:{}:{}",
+        let mut rng = tree.stream_args(format_args!(
+            "arm:{}:{}:{}:s{s}",
             arm.client.0, arm.echo_pop.0, arm.via_vns
         ));
-        let (mut fwd, mut rev) = channel_pair(world, &path, &label);
-        let mut out = Vec::with_capacity(sessions_per_arm);
-        for s in 0..sessions_per_arm {
-            let t0 = start + Dur::from_mins(30).mul(s as u64);
-            // Stream the packets straight off the generator — no ~51k-element
-            // schedule Vec per session. Same RNG walk as spec.schedule().
-            let packets = spec.packets(t0, cfg.duration, &mut rng);
-            let report = run_echo_session(packets, &cfg, &mut fwd, &mut rev);
-            out.push((arm, report));
-        }
-        out
+        let t0 = start + Dur::from_mins(30).mul(s as u64);
+        // Stream the packets straight off the generator — no ~51k-element
+        // schedule Vec per session. Same RNG walk as spec.schedule().
+        let packets = spec.packets(t0, cfg.duration, &mut rng);
+        let report = run_echo_session(packets, &cfg, &mut fwd, &mut rev);
+        Some((arm, report))
     });
-    per_arm.into_iter().flatten().collect()
+    per_unit.into_iter().flatten().collect()
 }
 
 /// A probed last-mile host.

@@ -46,6 +46,8 @@ pub fn egress_precision(world: &World) -> (f64, f64) {
             good += 1;
         }
     }
+    // One ledger unit per prefix judged.
+    vns_netsim::ledger::add_units(total as u64);
     (
         good as f64 / total.max(1) as f64,
         excess / total.max(1) as f64,
@@ -232,6 +234,8 @@ fn precision_all(world: &World) -> (f64, f64) {
             good += 1;
         }
     }
+    // One ledger unit per prefix judged.
+    vns_netsim::ledger::add_units(total as u64);
     (
         good as f64 / total.max(1) as f64,
         excess / total.max(1) as f64,
@@ -287,6 +291,8 @@ pub fn fec_arq(seed: u64) -> Ablation {
         }
         let raw = delivered.iter().filter(|d| !**d).count() as f64 / delivered.len() as f64;
         let fec = vns_media::FecConfig::K10.residual_loss(&delivered, &parity);
+        // One ledger unit per channel replay (raw+FEC counts as one).
+        vns_netsim::ledger::add_units(1);
         // ARQ at two relay distances.
         let mut arq_residual = Vec::new();
         for (s_off, base_ms) in [(100, 20.0), (200, 150.0)] {
@@ -301,6 +307,7 @@ pub fn fec_arq(seed: u64) -> Ablation {
                 t += Dur::from_millis(10);
             }
             arq_residual.push(lost as f64 / packets as f64);
+            vns_netsim::ledger::add_units(1);
         }
         table.push([
             name.to_string(),
@@ -365,6 +372,8 @@ pub fn l2_topology(seed: u64, scale: f64) -> Ablation {
             }
         }
         let mean_stretch = stretch / pairs.max(1) as f64;
+        // One ledger unit per PoP pair measured.
+        vns_netsim::ledger::add_units(pairs as u64);
         let name = if full_mesh {
             "full mesh"
         } else {
@@ -403,6 +412,8 @@ pub fn mode_delay(seed: u64, scale: f64) -> Ablation {
             }
         }
         let mean = km / n.max(1) as f64;
+        // One ledger unit per prefix resolved.
+        vns_netsim::ledger::add_units(n as u64);
         table.push([name.to_string(), format!("{mean:.0}")]);
         values.push((name.to_string(), mean));
     }
@@ -588,6 +599,8 @@ pub fn economics(seed: u64, scale: f64) -> Ablation {
         let cb = analyze(&geo.vns, &geo.internet, &model, &demands);
         let demands_hot = sample_demands(&hot.internet, n, 4.0, seed);
         let cb_hot = analyze(&hot.vns, &hot.internet, &model, &demands_hot);
+        // One ledger unit per demand routed through the cost model.
+        vns_netsim::ledger::add_units((demands.len() + demands_hot.len()) as u64);
         table.push([
             n.to_string(),
             format!("{:.2}", cb.per_mbps()),
@@ -651,6 +664,8 @@ pub fn setup_time(seed: u64, scale: f64) -> Ablation {
                         retrans += 1;
                     }
                 }
+                // One ledger unit per call setup attempted.
+                vns_netsim::ledger::add_units(40);
             }
         }
         let cdf = vns_stats::Cdf::new(setups);

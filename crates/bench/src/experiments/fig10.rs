@@ -69,6 +69,8 @@ fn classify(reports: &[&SessionReport]) -> LossNature {
 /// Builds the Fig 10 view from the Fig 9 session set (Amsterdam client,
 /// all six echo servers — the paper's presented perspective).
 pub fn run(sessions: &[(MediaArm, SessionReport)]) -> Fig10 {
+    // One ledger unit per session report scanned.
+    vns_netsim::ledger::add_units(sessions.len() as u64);
     let ams = PopId(9);
     let scatter = |via: bool, name: &str| {
         let pts: Vec<(f64, f64)> = sessions

@@ -29,6 +29,8 @@ pub struct Fig12 {
 
 /// Reduces the shared campaign from the SJS perspective.
 pub fn run(data: &LastMileData) -> Fig12 {
+    // One ledger unit per probe-train record reduced.
+    vns_netsim::ledger::add_units(data.records.len() as u64);
     let sjs = PopId(1);
     let mut panels = Vec::new();
     let mut swing = Vec::new();

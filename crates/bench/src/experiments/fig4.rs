@@ -35,6 +35,8 @@ pub fn egress_shares(world: &World, viewpoint: PopId) -> Vec<f64> {
             total += 1;
         }
     }
+    // One ledger unit per routed prefix so the bench row reports real work.
+    vns_netsim::ledger::add_units(total as u64);
     counts
         .into_iter()
         .map(|c| 100.0 * c as f64 / total.max(1) as f64)

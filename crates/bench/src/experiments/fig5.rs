@@ -44,6 +44,8 @@ fn neighbor_counts(world: &World) -> (BTreeMap<Asn, usize>, usize) {
             }
         }
     }
+    // One ledger unit per routed (PoP, prefix) pair.
+    vns_netsim::ledger::add_units(total as u64);
     (counts, total)
 }
 

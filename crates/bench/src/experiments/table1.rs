@@ -40,6 +40,8 @@ pub const PAPER: [(Region, [f64; 4]); 3] = [
 
 /// Reduces the shared campaign from the Amsterdam vantage.
 pub fn run(data: &LastMileData) -> Table1 {
+    // One ledger unit per probe-train record reduced.
+    vns_netsim::ledger::add_units(data.records.len() as u64);
     let ams = PopId(9);
     let mut sums: BTreeMap<(Region, AsType), (u64, u64)> = BTreeMap::new();
     for rec in &data.records {

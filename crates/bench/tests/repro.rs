@@ -144,6 +144,49 @@ fn rr_failover_reconverges_clean_with_bounded_outage() {
 }
 
 #[test]
+fn media_sub_units_are_per_session_and_ledger_counted() {
+    // The batch engine splits media arms into (arm × session) sub-units:
+    // the ledger must count one unit per session, and the merged report
+    // list must be in canonical (arm, session) order — byte-identical at
+    // threads 1/2/8 — because every sub-unit's RNG state derives from its
+    // stable label, never from walk order.
+    use vns_bench::campaign::media_campaign;
+    use vns_core::PopId;
+    use vns_media::VideoSpec;
+    use vns_netsim::SimTime;
+
+    let w = tiny_world();
+    let clients = [PopId(1), PopId(2)];
+    let sessions_per_arm = 7usize;
+    let run = |par: Par| {
+        media_campaign(
+            &w,
+            &clients,
+            VideoSpec::HD720,
+            sessions_per_arm,
+            SimTime::EPOCH + Dur::from_hours(8),
+            par,
+        )
+    };
+    let u0 = vns_netsim::ledger::units_processed();
+    let seq = run(Par::seq());
+    let expected_units = clients.len() * w.vns.echo_servers().len() * 2 * sessions_per_arm;
+    assert_eq!(
+        vns_netsim::ledger::units_processed() - u0,
+        expected_units as u64,
+        "one ledger unit per (arm, session) sub-unit"
+    );
+    assert_eq!(seq.len(), expected_units, "every sub-unit routed");
+    for threads in [2, 8] {
+        assert_eq!(
+            seq,
+            run(Par::new(threads)),
+            "media sub-unit reports differ at --threads {threads}"
+        );
+    }
+}
+
+#[test]
 fn odd_thread_counts_agree_too() {
     // 3 workers over a unit count that does not divide evenly exercises
     // uneven work stealing; the artefact must still match.

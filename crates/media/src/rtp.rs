@@ -38,7 +38,7 @@ impl RtpHeader {
 pub struct JitterEstimator {
     jitter_ms: f64,
     max_ms: f64,
-    last: Option<(SimTime, SimTime)>, // (sent, arrived)
+    last_transit_ns: Option<u64>,
     samples: u64,
 }
 
@@ -50,16 +50,24 @@ impl JitterEstimator {
 
     /// Feeds one received packet (its send and arrival instants).
     pub fn on_packet(&mut self, sent: SimTime, arrived: SimTime) {
-        if let Some((ps, pa)) = self.last {
-            // D = (arrived - prev_arrived) - (sent - prev_sent), signed ms.
-            let da = signed_ms(arrived, pa);
-            let ds = signed_ms(sent, ps);
-            let d = (da - ds).abs();
+        self.on_transit_ns((arrived - sent).as_nanos());
+    }
+
+    /// Feeds one packet by its transit time directly, in nanoseconds.
+    ///
+    /// Algebraically the same estimator as [`JitterEstimator::on_packet`]:
+    /// `D(i-1,i) = (a_i - a_{i-1}) - (s_i - s_{i-1}) = t_i - t_{i-1}` with
+    /// `t = a - s` the transit. Taking the difference exactly in integer
+    /// ns before the single float conversion is both cheaper and better
+    /// conditioned than differencing two ms floats.
+    pub fn on_transit_ns(&mut self, t_ns: u64) {
+        if let Some(prev) = self.last_transit_ns {
+            let d = (t_ns as i64 - prev as i64).unsigned_abs() as f64 * 1e-6;
             self.jitter_ms += (d - self.jitter_ms) / 16.0;
             self.max_ms = self.max_ms.max(self.jitter_ms);
             self.samples += 1;
         }
-        self.last = Some((sent, arrived));
+        self.last_transit_ns = Some(t_ns);
     }
 
     /// Current smoothed jitter, ms.
@@ -75,14 +83,6 @@ impl JitterEstimator {
     /// Number of interarrival samples folded.
     pub fn samples(&self) -> u64 {
         self.samples
-    }
-}
-
-fn signed_ms(a: SimTime, b: SimTime) -> f64 {
-    if a >= b {
-        (a - b).as_millis_f64()
-    } else {
-        -((b - a).as_millis_f64())
     }
 }
 

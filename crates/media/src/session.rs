@@ -5,10 +5,10 @@
 //! received packet straight back; the client logs loss, per-5-second-slot
 //! loss counts and RFC 3550 jitter.
 
-use vns_netsim::{Dur, PathChannel, PathOutcome, SimTime};
+use vns_netsim::{Dur, PathChannel, SimTime, BATCH_LEN};
 
 use crate::rtp::JitterEstimator;
-use crate::stream::ScheduledPacket;
+use crate::stream::{PacketFeed, ScheduledPacket};
 
 /// Session parameters.
 #[derive(Debug, Clone, Copy)]
@@ -29,7 +29,7 @@ impl Default for SessionConfig {
 }
 
 /// What one echo session measured.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// Packets the client sent.
     pub sent: u32,
@@ -87,6 +87,7 @@ pub fn run_echo_session<I>(
 ) -> SessionReport
 where
     I: IntoIterator<Item = ScheduledPacket>,
+    I::IntoIter: PacketFeed,
 {
     let n_slots = config.duration.div_count(config.slot).max(1) as usize;
     let mut slot_losses = vec![0u32; n_slots];
@@ -94,32 +95,79 @@ where
     let mut delivered_out = 0u32;
     let mut returned = 0u32;
     let mut jitter = JitterEstimator::new();
-    let mut min_rtt: Option<f64> = None;
+    let mut min_rtt_ns = u64::MAX;
     let mut start: Option<SimTime> = None;
 
-    for (pkt, outcome) in forward.send_many(packets) {
-        sent += 1;
-        let s = *start.get_or_insert(pkt.sent);
-        let slot = ((pkt.sent - s).div_count(config.slot) as usize).min(n_slots - 1);
-        match outcome {
-            PathOutcome::Lost { .. } => {
-                slot_losses[slot] += 1;
+    // Both legs run the columnar batch engine's live-set form: the feed
+    // fills `fwd.times` [`BATCH_LEN`] packets at a time (the session only
+    // consumes send instants), one forward `send_batch_live` leaves the
+    // delivered arrival clocks in `fwd.now`, and that column is fed
+    // straight back as the reverse leg's input — no per-packet outcome
+    // enums, no echo-time re-materialisation. Losses come back as sparse
+    // packed columns, so slot attribution costs one division per *lost*
+    // packet instead of a cursor walk over every packet. Scratch blocks
+    // come from the per-thread arena pool, so a session allocates nothing
+    // for its batching.
+    let mut packets = packets.into_iter();
+    let mut fwd = vns_netsim::scratch();
+    let mut rev = vns_netsim::scratch();
+    let slot_ns = config.slot.as_nanos().max(1);
+    let mut start_ns = 0u64;
+    loop {
+        fwd.clear();
+        if packets.fill_times(&mut fwd.times, BATCH_LEN) == 0 {
+            break;
+        }
+        if start.is_none() {
+            start = Some(fwd.times[0]);
+            start_ns = fwd.times[0].as_nanos();
+        }
+        sent += fwd.times.len() as u32;
+        let k = forward.send_batch_live(&mut fwd);
+        delivered_out += k as u32;
+        for &pk in fwd.lost.iter() {
+            let t = fwd.times[(pk >> 8) as usize].as_nanos();
+            let s = (((t - start_ns) / slot_ns) as usize).min(n_slots - 1);
+            slot_losses[s] += 1;
+        }
+        rev.clear();
+        let m = reverse.send_batch_live_ns(&fwd.now[..k], &mut rev);
+        returned += m as u32;
+        // A reverse-leg index addresses the forward delivered set; chase
+        // it through `fwd.idx` (when non-identity) to the original packet.
+        for &pk in rev.lost.iter() {
+            let r = (pk >> 8) as usize;
+            let orig = if fwd.idx.is_empty() {
+                r
+            } else {
+                fwd.idx[r] as usize
+            };
+            let t = fwd.times[orig].as_nanos();
+            let s = (((t - start_ns) / slot_ns) as usize).min(n_slots - 1);
+            slot_losses[s] += 1;
+        }
+        if fwd.idx.is_empty() && rev.idx.is_empty() {
+            // Lossless chunk on both legs: delivered slot j is packet j.
+            for (j, &back_ns) in rev.now.iter().take(m).enumerate() {
+                let rtt_ns = back_ns - fwd.times[j].as_nanos();
+                jitter.on_transit_ns(rtt_ns);
+                min_rtt_ns = min_rtt_ns.min(rtt_ns);
             }
-            PathOutcome::Delivered { arrival, .. } => {
-                delivered_out += 1;
-                match reverse.send(arrival) {
-                    PathOutcome::Lost { .. } => {
-                        slot_losses[slot] += 1;
-                    }
-                    PathOutcome::Delivered {
-                        arrival: back_at, ..
-                    } => {
-                        returned += 1;
-                        jitter.on_packet(pkt.sent, back_at);
-                        let rtt = (back_at - pkt.sent).as_millis_f64();
-                        min_rtt = Some(min_rtt.map_or(rtt, |m: f64| m.min(rtt)));
-                    }
-                }
+        } else {
+            for (j, &back_ns) in rev.now.iter().take(m).enumerate() {
+                let r = if rev.idx.is_empty() {
+                    j
+                } else {
+                    rev.idx[j] as usize
+                };
+                let orig = if fwd.idx.is_empty() {
+                    r
+                } else {
+                    fwd.idx[r] as usize
+                };
+                let rtt_ns = back_ns - fwd.times[orig].as_nanos();
+                jitter.on_transit_ns(rtt_ns);
+                min_rtt_ns = min_rtt_ns.min(rtt_ns);
             }
         }
     }
@@ -131,7 +179,7 @@ where
         slot_losses,
         jitter_ms: jitter.jitter_ms(),
         jitter_max_ms: jitter.max_ms(),
-        min_rtt_ms: min_rtt,
+        min_rtt_ms: (min_rtt_ns != u64::MAX).then_some(min_rtt_ns as f64 * 1e-6),
     }
 }
 

@@ -108,6 +108,61 @@ impl VideoSpec {
     }
 }
 
+/// Batched source of packet send instants — the one packet attribute the
+/// echo session consumes. Implemented natively by [`PacketIter`] (which
+/// fills a whole frame per inner loop, skipping per-packet struct
+/// assembly) and generically by the materialised schedule's iterator.
+pub trait PacketFeed {
+    /// Appends up to `cap` send instants to `out` in send order. Returns
+    /// the number appended; `0` means the source is exhausted.
+    fn fill_times(&mut self, out: &mut Vec<SimTime>, cap: usize) -> usize;
+}
+
+impl PacketFeed for PacketIter<'_> {
+    fn fill_times(&mut self, out: &mut Vec<SimTime>, cap: usize) -> usize {
+        let mut left = cap;
+        while left > 0 {
+            while self.k >= self.n_pkts {
+                if self.next_frame >= self.n_frames {
+                    return cap - left;
+                }
+                if self.next_frame > 0 {
+                    self.frame_start += self.frame_interval;
+                }
+                let base = if self.next_frame.is_multiple_of(self.spec.gop) {
+                    self.p_bytes * self.spec.i_frame_ratio
+                } else {
+                    self.p_bytes
+                };
+                self.frame_size = (base * self.rng.gen_range(0.8..1.2)).max(64.0) as usize;
+                self.n_pkts = self.frame_size.div_ceil(self.spec.mtu_payload);
+                self.k = 0;
+                self.next_frame += 1;
+            }
+            let take = (self.n_pkts - self.k).min(left);
+            // Packets of one frame leave back-to-back at `pacing`; emit the
+            // run with an incremental add (identical ns arithmetic to
+            // `frame_start + pacing.mul(k)`).
+            let mut t = self.frame_start + self.pacing.mul(self.k as u64);
+            for _ in 0..take {
+                out.push(t);
+                t += self.pacing;
+            }
+            self.k += take;
+            left -= take;
+        }
+        cap
+    }
+}
+
+impl PacketFeed for std::iter::Copied<std::slice::Iter<'_, ScheduledPacket>> {
+    fn fill_times(&mut self, out: &mut Vec<SimTime>, cap: usize) -> usize {
+        let before = out.len();
+        out.extend(self.by_ref().take(cap).map(|p| p.sent));
+        out.len() - before
+    }
+}
+
 /// Lazy packet generator for one stream (see [`VideoSpec::packets`]).
 #[derive(Debug)]
 pub struct PacketIter<'r> {

@@ -25,17 +25,38 @@
 //!   **exact**: window edges bound segments, so membership answers never
 //!   quantise (see [`BlackoutSchedule::segment_at`]).
 //!
-//! Steady-state per-packet cost is then two comparisons, a counter
-//! decrement and one exponential delay draw. Setting the epoch to
-//! [`Dur::ZERO`] (via [`PathChannel::exact`] or [`PathChannel::set_epoch`])
-//! disables all caching and reproduces the original per-packet reference
-//! semantics — the equivalence proptests in `tests/fastpath.rs` pin the
-//! fast path's loss/delay distributions against it.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//! # The batch engine
+//!
+//! On top of the epoch cache, [`PathChannel::send_batch`] processes
+//! structure-of-arrays blocks of up to [`BATCH_LEN`] send instants. The
+//! live set is two plain columns — running clocks (`u64` nanoseconds) and
+//! original batch indices — and each hop makes one pass over them. Within
+//! a hop the engine detects **runs**: maximal stretches of consecutive
+//! packets whose clocks fall inside the intersection of the cached epoch
+//! and blackout segment. A blacked-out run is dropped wholesale; a live
+//! run executes as a tight loop of one `next_u64`, one table-driven
+//! log ([`crate::delay`]'s `fast_ln`), a multiply and a min per packet —
+//! no branches on model state, nothing the compiler can't keep in
+//! registers. Lost packets are compacted out of the columns in stable
+//! order, which is what keeps the per-hop RNG and gap-counter consumption
+//! identical to scalar [`PathChannel::send`]: each hop owns its delay RNG,
+//! so hop-major batch order and packet-major scalar order consume every
+//! stream identically and the two paths are **byte-equal** (pinned by
+//! `tests/batch.rs`).
+//!
+//! Setting the epoch to [`Dur::ZERO`] (via [`PathChannel::exact`] or
+//! [`PathChannel::set_epoch`]) disables all caching and reproduces the
+//! original per-packet reference semantics — the equivalence proptests in
+//! `tests/fastpath.rs` pin the fast path's loss/delay distributions
+//! against it.
+//!
+//! Packet counts go to the per-thread [`crate::ledger`] (flushed on channel
+//! drop), so the hot loop never touches a shared cache line.
 
 use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 
+use crate::arena::BatchScratch;
 use crate::delay::DelaySampler;
 use crate::fault::BlackoutSchedule;
 use crate::loss::LossProcess;
@@ -46,15 +67,16 @@ use crate::time::{Dur, SimTime};
 /// delay models already assume.
 pub const DEFAULT_EPOCH: Dur = Dur::from_secs(1);
 
-/// Total packets pushed through any [`PathChannel`] in this process.
-/// `vns-bench` samples it around each experiment to report packet
-/// throughput in `BENCH_campaigns.json`. Channels count locally and flush
-/// on drop, so the hot loop never touches the shared cache line.
-static PACKETS_SENT: AtomicU64 = AtomicU64::new(0);
+/// Column width of the batch engine: [`PathChannel::send_many`] buffers
+/// this many packets per [`PathChannel::send_batch`] call. Large enough to
+/// amortise per-batch setup to noise, small enough that the scratch
+/// columns stay L1/L2-resident.
+pub const BATCH_LEN: usize = 1024;
 
-/// Packets sent through [`PathChannel`]s so far in this process.
+/// Packets sent through [`PathChannel`]s, as visible to this thread (see
+/// [`crate::ledger::packets_sent`]).
 pub fn packets_sent() -> u64 {
-    PACKETS_SENT.load(Ordering::Relaxed)
+    crate::ledger::packets_sent()
 }
 
 /// One hop of a path, as seen by a single flow.
@@ -75,7 +97,6 @@ impl HopChannel {
     /// A lossless fixed-delay hop (useful in tests).
     pub fn ideal(base_ms: f64) -> Self {
         use crate::loss::LossModel;
-        use rand::SeedableRng;
         Self {
             loss: LossProcess::new(LossModel::None, SmallRng::seed_from_u64(0)),
             delay: DelaySampler::fixed(base_ms),
@@ -128,8 +149,9 @@ struct HopEpoch {
     loss_p: f64,
     /// Packets that survive before the next loss (geometric gap).
     gap_left: u64,
-    /// Mean queueing delay frozen at the epoch start, ms.
-    mean_queue_ms: f64,
+    /// Mean queueing delay frozen at the epoch start, in nanoseconds (the
+    /// scale the engine's clock arithmetic runs in).
+    mean_queue_ns: f64,
     /// Cached blackout segment `[seg_lo, seg_hi)` — exact, not quantised.
     seg_lo: SimTime,
     seg_hi: SimTime,
@@ -144,11 +166,51 @@ impl HopEpoch {
             valid_until: SimTime::EPOCH,
             loss_p: 0.0,
             gap_left: u64::MAX,
-            mean_queue_ms: 0.0,
+            mean_queue_ns: 0.0,
             seg_lo: SimTime::MAX,
             seg_hi: SimTime::EPOCH,
             seg_blacked: false,
         }
+    }
+}
+
+/// Per-hop constants of the delay draw, hoisted out of the per-packet
+/// loops into the nanosecond scale: the buffer cap, and the fixed base
+/// with the half-up rounding term pre-added so a delay is one f64 add and
+/// one truncating cast from its queue draw. Assembled identically by
+/// [`DelaySampler::sample_ns`], which keeps exact and fast modes bit-equal.
+#[derive(Clone, Copy)]
+struct HopNs {
+    cap_ns: f64,
+    base_half_ns: f64,
+}
+
+impl HopNs {
+    fn of(delay: &DelaySampler) -> Self {
+        HopNs {
+            cap_ns: delay.max_queue_ms * 1_000_000.0,
+            base_half_ns: delay.base_ms * 1_000_000.0 + 0.5,
+        }
+    }
+}
+
+/// The innermost delay kernel: advances every clock in `run` by one
+/// sampled hop delay, in place. Deliberately `inline(never)`: runs are
+/// hundreds of packets long (one per epoch × blackout-segment intersection),
+/// so the call is noise, while giving the loop its own frame keeps the
+/// surrounding hop bookkeeping from spilling its registers — measured ~2×
+/// on the per-packet cost over the inlined form.
+#[inline(never)]
+fn advance_run(
+    run: &mut [u64],
+    rng: &mut SmallRng,
+    tables: &crate::delay::LnTables,
+    mean_ns: f64,
+    ns: HopNs,
+) {
+    for x in run.iter_mut() {
+        let q = crate::delay::queue_draw(tables, mean_ns, ns.cap_ns, rng);
+        *x += (ns.base_half_ns + q) as u64;
     }
 }
 
@@ -163,13 +225,14 @@ fn refresh_epoch(hop: &mut HopChannel, ep: &mut HopEpoch, now: SimTime, epoch: D
     // unexhausted gap and re-drawing here preserves the loss distribution
     // even when loss_p did not change.
     ep.gap_left = hop.loss.gap_to_next_loss(ep.loss_p);
-    ep.mean_queue_ms = hop.delay.mean_queue_ms(start);
+    ep.mean_queue_ns = hop.delay.mean_queue_ms(start) * 1_000_000.0;
 }
 
 /// Extracts the send instant from a batched-send item; lets
 /// [`PathChannel::send_many`] drive on plain instants as well as richer
-/// packet records (e.g. `vns-media`'s scheduled packets).
-pub trait SendAt {
+/// packet records (e.g. `vns-media`'s scheduled packets). `Copy` because
+/// the batch engine buffers items by value in its scratch columns.
+pub trait SendAt: Copy {
     /// When this item goes on the wire.
     fn send_at(&self) -> SimTime;
 }
@@ -180,12 +243,16 @@ impl SendAt for SimTime {
     }
 }
 
-/// Lazy batched-send iterator: yields `(item, outcome)` per input item.
-/// See [`PathChannel::send_many`].
+/// Batched-send iterator: pulls items in [`BATCH_LEN`] blocks, pushes each
+/// block through [`PathChannel::send_batch`], and yields `(item, outcome)`
+/// per input item. See [`PathChannel::send_many`].
 #[derive(Debug)]
-pub struct SendMany<'c, I> {
+pub struct SendMany<'c, I: Iterator> {
     channel: &'c mut PathChannel,
     items: I,
+    buf: Vec<I::Item>,
+    scratch: crate::arena::Scratch,
+    pos: usize,
 }
 
 impl<I> Iterator for SendMany<'_, I>
@@ -196,13 +263,32 @@ where
     type Item = (I::Item, PathOutcome);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let item = self.items.next()?;
-        let outcome = self.channel.send(item.send_at());
-        Some((item, outcome))
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.scratch.times.clear();
+            while self.buf.len() < BATCH_LEN {
+                let Some(item) = self.items.next() else { break };
+                self.scratch.times.push(item.send_at());
+                self.buf.push(item);
+            }
+            if self.buf.is_empty() {
+                return None;
+            }
+            self.pos = 0;
+            self.channel.send_batch(&mut self.scratch);
+        }
+        let i = self.pos;
+        self.pos += 1;
+        Some((self.buf[i], self.scratch.outcomes[i]))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.items.size_hint()
+        let (lo, hi) = self.items.size_hint();
+        let pending = self.buf.len() - self.pos;
+        (
+            lo.saturating_add(pending),
+            hi.and_then(|h| h.checked_add(pending)),
+        )
     }
 }
 
@@ -211,12 +297,16 @@ where
 #[derive(Debug)]
 pub struct PathChannel {
     hops: Vec<HopChannel>,
-    rng: SmallRng,
+    /// One delay RNG per hop, seeded in hop order from the construction
+    /// RNG. Hop-local streams are what let the batch engine process
+    /// packets hop-major while consuming every stream in the exact order
+    /// the scalar packet-major path does.
+    delay_rngs: Vec<SmallRng>,
     /// Fast-path quantisation epoch; [`Dur::ZERO`] means exact per-packet
     /// evaluation (the reference path).
     epoch: Dur,
     cache: Vec<HopEpoch>,
-    /// Locally counted packets, flushed to [`PACKETS_SENT`] on drop.
+    /// Locally counted packets, flushed to [`crate::ledger`] on drop.
     pending_count: u64,
 }
 
@@ -224,7 +314,7 @@ impl Clone for PathChannel {
     fn clone(&self) -> Self {
         Self {
             hops: self.hops.clone(),
-            rng: self.rng.clone(),
+            delay_rngs: self.delay_rngs.clone(),
             epoch: self.epoch,
             cache: self.cache.clone(),
             // The clone has sent nothing yet; the original keeps (and will
@@ -237,14 +327,14 @@ impl Clone for PathChannel {
 impl Drop for PathChannel {
     fn drop(&mut self) {
         if self.pending_count > 0 {
-            PACKETS_SENT.fetch_add(self.pending_count, Ordering::Relaxed);
+            crate::ledger::add_packets(self.pending_count);
         }
     }
 }
 
 impl PathChannel {
-    /// Builds a fast-path channel (epoch [`DEFAULT_EPOCH`]); `rng` drives
-    /// the delay sampling.
+    /// Builds a fast-path channel (epoch [`DEFAULT_EPOCH`]); `rng` seeds
+    /// the per-hop delay streams.
     pub fn new(hops: Vec<HopChannel>, rng: SmallRng) -> Self {
         Self::with_epoch(hops, rng, DEFAULT_EPOCH)
     }
@@ -257,11 +347,15 @@ impl PathChannel {
     }
 
     /// Builds a channel with an explicit epoch ([`Dur::ZERO`] = exact).
-    pub fn with_epoch(hops: Vec<HopChannel>, rng: SmallRng, epoch: Dur) -> Self {
+    pub fn with_epoch(hops: Vec<HopChannel>, mut rng: SmallRng, epoch: Dur) -> Self {
         let cache = vec![HopEpoch::stale(); hops.len()];
+        let delay_rngs = hops
+            .iter()
+            .map(|_| SmallRng::seed_from_u64(rng.next_u64()))
+            .collect();
         Self {
             hops,
-            rng,
+            delay_rngs,
             epoch,
             cache,
             pending_count: 0,
@@ -294,7 +388,8 @@ impl PathChannel {
     /// Sends one packet at `sent`; the packet progresses hop by hop,
     /// accruing sampled delay, and may be dropped by any hop's loss process
     /// or blackout schedule. Dispatches to the epoch-cached fast path
-    /// unless the epoch is [`Dur::ZERO`].
+    /// unless the epoch is [`Dur::ZERO`]. Byte-equal to pushing the same
+    /// instant through [`PathChannel::send_batch`].
     pub fn send(&mut self, sent: SimTime) -> PathOutcome {
         self.pending_count += 1;
         if self.epoch == Dur::ZERO {
@@ -304,10 +399,11 @@ impl PathChannel {
         }
     }
 
-    /// Batched send: lazily pushes each item through the channel and yields
-    /// `(item, outcome)` pairs. `run_echo_session` and `loss_train` drive
-    /// their packet trains through this; it is also the natural shape for
-    /// the criterion microbenches comparing per-call vs batched cost.
+    /// Batched send: pulls items in [`BATCH_LEN`] blocks through
+    /// [`PathChannel::send_batch`] and yields `(item, outcome)` pairs.
+    /// `run_echo_session` and `loss_train` drive their packet trains
+    /// through this; it is also the shape the criterion microbenches
+    /// compare against per-call [`PathChannel::send`].
     pub fn send_many<I>(&mut self, items: I) -> SendMany<'_, I::IntoIter>
     where
         I: IntoIterator,
@@ -316,7 +412,155 @@ impl PathChannel {
         SendMany {
             channel: self,
             items: items.into_iter(),
+            buf: Vec::new(),
+            scratch: crate::arena::scratch(),
+            pos: 0,
         }
+    }
+
+    /// Structure-of-arrays batched send: consumes `scratch.times` (the send
+    /// instants, any length — processed in [`BATCH_LEN`] chunks) and fills
+    /// `scratch.outcomes` with one outcome per instant, byte-equal to
+    /// calling [`PathChannel::send`] on each instant in order. `scratch.now`
+    /// and `scratch.idx` are the engine's internal live-set columns.
+    pub fn send_batch(&mut self, scratch: &mut BatchScratch) {
+        let BatchScratch {
+            times,
+            outcomes,
+            now,
+            idx,
+            lost,
+        } = scratch;
+        let n = times.len();
+        self.pending_count += n as u64;
+        outcomes.clear();
+        if self.epoch == Dur::ZERO {
+            // Exact mode has no per-epoch structure to batch over; the
+            // reference path runs per packet.
+            for &t in times.iter() {
+                let out = self.send_exact(t);
+                outcomes.push(out);
+            }
+            return;
+        }
+        // Placeholder; every slot is overwritten exactly once below (the
+        // loss column and the delivered set partition the chunk).
+        outcomes.resize(n, PathOutcome::Lost { hop: usize::MAX });
+        let mut start = 0;
+        while start < n {
+            let end = (start + BATCH_LEN).min(n);
+            now.clear();
+            now.extend(times[start..end].iter().map(|t| t.as_nanos()));
+            idx.clear();
+            lost.clear();
+            let live = self.run_hops(now, idx, lost);
+            let out = &mut outcomes[start..end];
+            for &pk in lost.iter() {
+                out[(pk >> 8) as usize] = PathOutcome::Lost {
+                    hop: (pk & 0xff) as usize,
+                };
+            }
+            if idx.is_empty() {
+                // Identity mapping: nothing was dropped in this chunk.
+                for (j, &clock) in now.iter().take(live).enumerate() {
+                    let sent = times[start + j];
+                    let arrival = SimTime::from_nanos(clock);
+                    out[j] = PathOutcome::Delivered {
+                        arrival,
+                        delay: arrival - sent,
+                    };
+                }
+            } else {
+                for (&clock, &i) in now.iter().zip(idx.iter()).take(live) {
+                    let sent = times[start + i as usize];
+                    let arrival = SimTime::from_nanos(clock);
+                    out[i as usize] = PathOutcome::Delivered {
+                        arrival,
+                        delay: arrival - sent,
+                    };
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Columnar live-set send: consumes `scratch.times` (at most
+    /// [`BATCH_LEN`] instants, in send order) and returns the delivered
+    /// count `k`, leaving the results in the scratch columns — `now[0..k]`
+    /// holds arrival clocks in ns, `idx` the original-index map (empty =
+    /// identity: delivered slot `j` is original packet `j`), `lost` one
+    /// packed `(original index << 8) | hop` entry per dropped packet.
+    /// `outcomes` is untouched: no per-packet enum is materialised, which
+    /// is what lets `run_echo_session` chain two legs with nothing but
+    /// column reads. Consumes RNG and loss state exactly like
+    /// [`PathChannel::send_batch`] over the same instants.
+    pub fn send_batch_live(&mut self, scratch: &mut BatchScratch) -> usize {
+        let BatchScratch {
+            times,
+            now,
+            idx,
+            lost,
+            ..
+        } = scratch;
+        assert!(times.len() <= BATCH_LEN, "live-set sends are single-chunk");
+        self.pending_count += times.len() as u64;
+        now.clear();
+        now.extend(times.iter().map(|t| t.as_nanos()));
+        idx.clear();
+        lost.clear();
+        if self.epoch == Dur::ZERO {
+            return self.run_exact_live(now, idx, lost);
+        }
+        self.run_hops(now, idx, lost)
+    }
+
+    /// [`PathChannel::send_batch_live`] with the send clocks given directly
+    /// as a nanosecond column — e.g. the `now` column a previous leg's send
+    /// left behind, which is exactly how the echo session feeds deliveries
+    /// back without re-materialising `SimTime`s. `scratch.times` is ignored.
+    pub fn send_batch_live_ns(&mut self, times_ns: &[u64], scratch: &mut BatchScratch) -> usize {
+        let BatchScratch { now, idx, lost, .. } = scratch;
+        assert!(
+            times_ns.len() <= BATCH_LEN,
+            "live-set sends are single-chunk"
+        );
+        self.pending_count += times_ns.len() as u64;
+        now.clear();
+        now.extend_from_slice(times_ns);
+        idx.clear();
+        lost.clear();
+        if self.epoch == Dur::ZERO {
+            return self.run_exact_live(now, idx, lost);
+        }
+        self.run_hops(now, idx, lost)
+    }
+
+    /// Exact-mode body of the live-set sends: per-packet reference
+    /// evaluation, packed into the live-set column contract. Reads each
+    /// input clock from `now` before overwriting the (always earlier)
+    /// delivered prefix in place.
+    fn run_exact_live(
+        &mut self,
+        now: &mut [u64],
+        idx: &mut Vec<u32>,
+        lost: &mut Vec<u32>,
+    ) -> usize {
+        debug_assert!(self.hops.len() < 256);
+        let mut live = 0usize;
+        for i in 0..now.len() {
+            let t = SimTime::from_nanos(now[i]);
+            match self.send_exact(t) {
+                PathOutcome::Delivered { arrival, .. } => {
+                    now[live] = arrival.as_nanos();
+                    idx.push(i as u32);
+                    live += 1;
+                }
+                PathOutcome::Lost { hop } => {
+                    lost.push(((i as u32) << 8) | hop as u32);
+                }
+            }
+        }
+        live
     }
 
     /// The exact per-packet reference path (what `send` did before the
@@ -325,12 +569,16 @@ impl PathChannel {
     /// sample.
     fn send_exact(&mut self, sent: SimTime) -> PathOutcome {
         let mut now = sent;
-        for (i, hop) in self.hops.iter_mut().enumerate() {
+        for (i, (hop, rng)) in self
+            .hops
+            .iter_mut()
+            .zip(self.delay_rngs.iter_mut())
+            .enumerate()
+        {
             if hop.blackouts.blacked_out(now) || hop.loss.packet_lost(now) {
                 return PathOutcome::Lost { hop: i };
             }
-            let d = Dur::from_millis_f64(hop.delay.sample_ms(now, &mut self.rng));
-            now += d;
+            now += Dur::from_nanos(hop.delay.sample_ns(now, rng));
         }
         PathOutcome::Delivered {
             arrival: now,
@@ -344,8 +592,14 @@ impl PathChannel {
     fn send_fast(&mut self, sent: SimTime) -> PathOutcome {
         let mut now = sent;
         let epoch = self.epoch;
-        let rng = &mut self.rng;
-        for (i, (hop, ep)) in self.hops.iter_mut().zip(self.cache.iter_mut()).enumerate() {
+        let tables = crate::delay::ln_tables();
+        for (i, ((hop, ep), rng)) in self
+            .hops
+            .iter_mut()
+            .zip(self.cache.iter_mut())
+            .zip(self.delay_rngs.iter_mut())
+            .enumerate()
+        {
             // Blackouts first (mirrors the exact path's short-circuit: a
             // blacked-out packet consumes no loss draw). The cached segment
             // is exact — it is re-resolved whenever `now` leaves it, and
@@ -371,13 +625,140 @@ impl PathChannel {
                 }
                 ep.gap_left -= 1;
             }
-            let d = Dur::from_millis_f64(hop.delay.sample_with_mean_ms(ep.mean_queue_ms, rng));
-            now += d;
+            let ns = HopNs::of(&hop.delay);
+            let q = crate::delay::queue_draw(tables, ep.mean_queue_ns, ns.cap_ns, rng);
+            now += Dur::from_nanos((ns.base_half_ns + q) as u64);
         }
         PathOutcome::Delivered {
             arrival: now,
             delay: now - sent,
         }
+    }
+
+    /// One [`BATCH_LEN`]-bounded chunk of the columnar fast path: the hop
+    /// passes over pre-filled live columns. On entry `now` holds the
+    /// chunk's send clocks (ns, send order) and `idx`/`lost` are empty; on
+    /// return the first `live` (returned) slots of `now` are arrival
+    /// clocks, `idx` is the original-index map — left empty (identity)
+    /// when no packet was dropped, materialised lazily on the first drop —
+    /// and `lost` gained one `(orig << 8) | hop` entry per drop. The
+    /// chunk cap keeps `orig` comfortably inside the packed 24 bits; hop
+    /// indices must fit the low byte.
+    fn run_hops(&mut self, now: &mut [u64], idx: &mut Vec<u32>, lost: &mut Vec<u32>) -> usize {
+        debug_assert!(now.len() <= BATCH_LEN);
+        debug_assert!(self.hops.len() < 256);
+        debug_assert!(idx.is_empty());
+        let n = now.len();
+        let epoch = self.epoch;
+        let tables = crate::delay::ln_tables();
+        let mut live = n;
+        for (h, ((hop, ep), rng)) in self
+            .hops
+            .iter_mut()
+            .zip(self.cache.iter_mut())
+            .zip(self.delay_rngs.iter_mut())
+            .enumerate()
+        {
+            if live == 0 {
+                break;
+            }
+            let ns = HopNs::of(&hop.delay);
+            // Work on a local copy of the hop RNG so the run loops keep its
+            // 32-byte state in registers instead of round-tripping the Vec
+            // slot through memory on every draw; written back after the
+            // hop's passes.
+            let mut hop_rng = rng.clone();
+            let mut w = 0usize; // write cursor: live packets kept so far
+            let mut r = 0usize; // read cursor
+            while r < live {
+                let t = SimTime::from_nanos(now[r]);
+                // Same per-packet resolution order as the scalar path:
+                // segment containment, blackout short-circuit (no epoch
+                // refresh, no loss draw), then epoch refresh.
+                if t < ep.seg_lo || t >= ep.seg_hi {
+                    let (lo, hi, blacked) = hop.blackouts.segment_at(t);
+                    ep.seg_lo = lo;
+                    ep.seg_hi = hi;
+                    ep.seg_blacked = blacked;
+                }
+                if ep.seg_blacked {
+                    if idx.is_empty() {
+                        // First drop in the chunk: the mapping is still
+                        // identity everywhere, so materialise it now.
+                        idx.extend(0..n as u32);
+                    }
+                    let lo = ep.seg_lo.as_nanos();
+                    let hi = ep.seg_hi.as_nanos();
+                    while r < live && now[r] >= lo && now[r] < hi {
+                        lost.push((idx[r] << 8) | h as u32);
+                        r += 1;
+                    }
+                    continue;
+                }
+                if t < ep.valid_from || t >= ep.valid_until {
+                    refresh_epoch(hop, ep, t, epoch);
+                }
+                // Run: consecutive packets inside both the epoch and the
+                // (non-blacked) blackout segment share all cached state.
+                let lo = ep.seg_lo.max(ep.valid_from).as_nanos();
+                let hi = ep.seg_hi.min(ep.valid_until).as_nanos();
+                let e = r
+                    + 1
+                    + now[r + 1..live]
+                        .iter()
+                        .position(|&x| x < lo || x >= hi)
+                        .unwrap_or(live - r - 1);
+                let mean = ep.mean_queue_ns;
+                // A run survives wholesale when its loss gap outlasts it;
+                // fold that case into the pure-delay path so lossy hops in
+                // quiet epochs run the same tight loop as clean hops.
+                let run_len = (e - r) as u64;
+                let survives = ep.loss_p <= 0.0 || ep.gap_left >= run_len;
+                if survives && w == r {
+                    // Nothing has been compacted out of this hop yet, so
+                    // clocks advance where they stand and `idx` is
+                    // untouched: [`advance_run`] is one next_u64, one
+                    // inverse-CDF interpolation, a multiply, a min and an
+                    // in-place add per packet, with no bounds checks.
+                    if ep.loss_p > 0.0 {
+                        ep.gap_left -= run_len;
+                    }
+                    advance_run(&mut now[r..e], &mut hop_rng, tables, mean, ns);
+                    w = e;
+                } else if survives {
+                    if ep.loss_p > 0.0 {
+                        ep.gap_left -= run_len;
+                    }
+                    for j in r..e {
+                        let q = crate::delay::queue_draw(tables, mean, ns.cap_ns, &mut hop_rng);
+                        now[w] = now[j] + (ns.base_half_ns + q) as u64;
+                        idx[w] = idx[j];
+                        w += 1;
+                    }
+                } else {
+                    if idx.is_empty() {
+                        // As above: a loss is about to land in this run.
+                        idx.extend(0..n as u32);
+                    }
+                    for j in r..e {
+                        if ep.gap_left == 0 {
+                            ep.gap_left = hop.loss.gap_to_next_loss(ep.loss_p);
+                            lost.push((idx[j] << 8) | h as u32);
+                        } else {
+                            ep.gap_left -= 1;
+                            let q = crate::delay::queue_draw(tables, mean, ns.cap_ns, &mut hop_rng);
+                            now[w] = now[j] + (ns.base_half_ns + q) as u64;
+                            idx[w] = idx[j];
+                            w += 1;
+                        }
+                    }
+                }
+                r = e;
+            }
+            *rng = hop_rng;
+            live = w;
+        }
+        live
     }
 
     /// Minimum possible one-way delay (sum of hop bases), ms — what a probe
@@ -391,7 +772,6 @@ impl PathChannel {
 mod tests {
     use super::*;
     use crate::loss::{LossModel, LossProcess};
-    use rand::SeedableRng;
 
     fn rng(seed: u64) -> SmallRng {
         SmallRng::seed_from_u64(seed)
@@ -445,8 +825,9 @@ mod tests {
 
     #[test]
     fn lossless_fast_and_exact_paths_are_identical() {
-        // With no loss process engaged, the fast path consumes the delay
-        // RNG exactly like the exact path — outcomes match bit for bit.
+        // With no loss process engaged, the fast path consumes the per-hop
+        // delay RNGs exactly like the exact path — outcomes match bit for
+        // bit.
         let hops = || vec![HopChannel::ideal(10.0), HopChannel::ideal(20.0)];
         let mut fast = PathChannel::new(hops(), rng(6));
         let mut exact = PathChannel::exact(hops(), rng(6));
@@ -459,6 +840,8 @@ mod tests {
 
     #[test]
     fn send_many_matches_sequential_sends() {
+        // send_many runs the columnar batch engine; per-call send runs the
+        // scalar state machine. Same hops, same seed — byte-equal.
         let hops = || {
             let mut h = HopChannel::ideal(5.0);
             h.loss = LossProcess::new(LossModel::Bernoulli { p: 0.05 }, rng(7));
@@ -487,6 +870,8 @@ mod tests {
 
     #[test]
     fn packet_counter_flushes_on_drop() {
+        // The ledger keeps unmerged counts thread-local, so concurrently
+        // running tests on other threads cannot skew this delta.
         let before = packets_sent();
         {
             let mut ch = PathChannel::new(vec![HopChannel::ideal(1.0)], rng(10));
@@ -498,5 +883,19 @@ mod tests {
             drop(clone);
         }
         assert_eq!(packets_sent() - before, 37);
+    }
+
+    #[test]
+    fn send_batch_counts_packets() {
+        let before = packets_sent();
+        {
+            let mut ch = PathChannel::new(vec![HopChannel::ideal(1.0)], rng(11));
+            let mut s = crate::arena::scratch();
+            s.times
+                .extend((0..500u64).map(|i| SimTime::EPOCH + Dur::from_millis(i)));
+            ch.send_batch(&mut s);
+            assert_eq!(s.outcomes.len(), 500);
+        }
+        assert_eq!(packets_sent() - before, 500);
     }
 }

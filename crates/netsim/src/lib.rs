@@ -17,7 +17,12 @@
 //!   campaign work units (byte-identical output at any thread count);
 //! * [`DelaySampler`] — propagation + utilisation-dependent queueing delay;
 //! * [`HopChannel`]/[`PathChannel`] — a packet's eye view of a multi-hop
-//!   path, used by both the probing and media crates;
+//!   path, used by both the probing and media crates; `send_batch` is the
+//!   columnar structure-of-arrays fast path;
+//! * [`ledger`] — per-thread packet/unit throughput cells, merged in
+//!   canonical worker order at `par_map` joins;
+//! * [`arena`] — recycled per-thread scratch blocks backing the batch
+//!   engine (no allocation on the steady-state session path);
 //! * [`fault`] — scheduled blackout windows modelling routing-convergence
 //!   events (the bursty-outlier cause in Fig 10);
 //! * [`ArrivalProcess`] — windowed non-homogeneous Poisson call arrivals
@@ -26,6 +31,7 @@
 //! Everything is deterministic given a master seed: no wall clock, no global
 //! RNG, no iteration-order dependence.
 
+pub mod arena;
 pub mod arrivals;
 pub mod channel;
 pub mod delay;
@@ -33,21 +39,24 @@ pub mod diurnal;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod ledger;
 pub mod loss;
 pub mod par;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use arena::{scratch, BatchScratch, Scratch};
 pub use arrivals::ArrivalProcess;
 pub use channel::{
-    packets_sent, HopChannel, PathChannel, PathOutcome, SendAt, SendMany, DEFAULT_EPOCH,
+    packets_sent, HopChannel, PathChannel, PathOutcome, SendAt, SendMany, BATCH_LEN, DEFAULT_EPOCH,
 };
 pub use delay::DelaySampler;
 pub use diurnal::{DiurnalProfile, DiurnalShape};
 pub use engine::Engine;
 pub use event::EventQueue;
 pub use fault::{BlackoutSchedule, FaultGenerator};
+pub use ledger::LedgerDelta;
 pub use loss::{LossModel, LossProcess};
 pub use par::{par_map, Par};
 pub use rng::RngTree;

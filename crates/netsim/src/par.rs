@@ -21,16 +21,15 @@
 
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Total work units processed by [`par_map`] in this process, across all
-/// campaigns. `vns-bench` samples it around each experiment to report unit
-/// throughput in `BENCH_campaigns.json`.
-static UNITS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+use crate::ledger;
 
-/// Work units processed by [`par_map`] so far in this process.
+/// Work units processed by [`par_map`] so far, as visible to this thread
+/// (see [`crate::ledger::units_processed`]). `vns-bench` samples it around
+/// each experiment to report unit throughput in `BENCH_campaigns.json`.
 pub fn units_processed() -> u64 {
-    UNITS_PROCESSED.load(Ordering::Relaxed)
+    ledger::units_processed()
 }
 
 /// Parallelism configuration for a campaign run.
@@ -105,10 +104,11 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    UNITS_PROCESSED.fetch_add(items.len() as u64, Ordering::Relaxed);
     let workers = par.threads().min(items.len());
     if workers <= 1 {
-        // Sequential fast path: no spawn cost, identical semantics.
+        // Sequential fast path: no spawn cost, identical semantics. The
+        // unit count lands in this thread's ledger cell directly.
+        ledger::add_units(items.len() as u64);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
@@ -123,14 +123,24 @@ where
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
+                    ledger::add_units(1);
                     local.push((i, catch_unwind(AssertUnwindSafe(|| f(i, item)))));
                 }
-                local
+                // Drain this worker's ledger cells (units claimed here plus
+                // packets flushed by channels dropped inside the units);
+                // the join point below merges the deltas in spawn order.
+                (ledger::take_local(), local)
             }));
         }
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("worker did not itself panic"))
+            .map(|h| h.join().expect("worker did not itself panic"))
+            .flat_map(|(delta, local)| {
+                // Canonical-order merge: deltas fold into the process
+                // totals in worker spawn order, one merge per worker.
+                ledger::merge(delta);
+                local
+            })
             .collect()
     });
     done.sort_by_key(|(i, _)| *i);

@@ -1,0 +1,168 @@
+//! Batch-engine equivalence for [`PathChannel`].
+//!
+//! The SoA batch path (`send_batch`, `send_batch_live`) is a pure
+//! reorganisation of the per-packet state machine: it must consume the
+//! same RNG draws in the same order and produce byte-identical outcomes.
+//! These tests pin that down against both references —
+//! [`PathChannel::exact`] (the per-packet exact reference the ISSUE names)
+//! and the scalar fast path — across Bernoulli and Gilbert–Elliott loss,
+//! blackout windows straddling epoch edges, and batches that cross both
+//! chunk and epoch boundaries.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vns_netsim::{
+    scratch, BlackoutSchedule, Dur, HopChannel, LossModel, LossProcess, PathChannel, PathOutcome,
+    SimTime, BATCH_LEN,
+};
+
+fn lossy_hop(base_ms: f64, model: LossModel, seed: u64) -> HopChannel {
+    let mut hop = HopChannel::ideal(base_ms);
+    hop.loss = LossProcess::new(model, SmallRng::seed_from_u64(seed));
+    hop
+}
+
+/// A 3-hop path exercising both loss families plus a clean hop.
+fn hops(p: f64, burst: f64, seed: u64) -> Vec<HopChannel> {
+    vec![
+        lossy_hop(2.0, LossModel::Bernoulli { p }, seed),
+        lossy_hop(
+            8.0,
+            LossModel::bursty(p.max(0.001), burst, 2.0),
+            seed ^ 0x9e37,
+        ),
+        HopChannel::ideal(15.0),
+    ]
+}
+
+/// Per-packet reference: one `send` per instant.
+fn sequential(mut ch: PathChannel, times: &[SimTime]) -> Vec<PathOutcome> {
+    times.iter().map(|&t| ch.send(t)).collect()
+}
+
+/// Batched: one `send_batch` over the whole slice (the engine chunks it
+/// into `BATCH_LEN` columns internally).
+fn batched(mut ch: PathChannel, times: &[SimTime]) -> Vec<PathOutcome> {
+    let mut s = scratch();
+    s.times.extend_from_slice(times);
+    ch.send_batch(&mut s);
+    s.outcomes.clone()
+}
+
+/// Live-set: chunked `send_batch_live`, outcomes reconstructed from the
+/// delivered clocks / sparse loss columns.
+fn live(mut ch: PathChannel, times: &[SimTime]) -> Vec<PathOutcome> {
+    let mut out = Vec::with_capacity(times.len());
+    let mut s = scratch();
+    for chunk in times.chunks(BATCH_LEN) {
+        let base = out.len();
+        out.resize(base + chunk.len(), PathOutcome::Lost { hop: usize::MAX });
+        s.clear();
+        s.times.extend_from_slice(chunk);
+        let k = ch.send_batch_live(&mut s);
+        for &pk in &s.lost {
+            out[base + (pk >> 8) as usize] = PathOutcome::Lost {
+                hop: (pk & 0xff) as usize,
+            };
+        }
+        for j in 0..k {
+            let orig = if s.idx.is_empty() {
+                j
+            } else {
+                s.idx[j] as usize
+            };
+            let arrival = SimTime::from_nanos(s.now[j]);
+            out[base + orig] = PathOutcome::Delivered {
+                arrival,
+                delay: arrival - chunk[orig],
+            };
+        }
+    }
+    out
+}
+
+/// Send instants spanning several cache epochs (1 s) and several
+/// `BATCH_LEN` chunks, with a stride that lands packets on both sides of
+/// epoch edges.
+fn times(n: usize, spacing_us: u64) -> Vec<SimTime> {
+    (0..n as u64)
+        .map(|i| SimTime::EPOCH + Dur::from_micros(i * spacing_us))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact mode: the batch path must be byte-equal to the per-packet
+    /// exact reference for every packet, including which hop dropped it.
+    #[test]
+    fn batch_matches_exact_reference(
+        p in 0.0f64..0.15,
+        burst in 0.25f64..0.7,
+        seed in 0u64..500,
+        spacing_us in 300u64..5_000,
+    ) {
+        let ts = times(3 * BATCH_LEN + 17, spacing_us);
+        let mk = || PathChannel::exact(hops(p, burst, seed), SmallRng::seed_from_u64(seed ^ 5));
+        prop_assert_eq!(batched(mk(), &ts), sequential(mk(), &ts));
+    }
+
+    /// Fast mode: batch vs scalar fast path, same requirement. The stride
+    /// range makes batches straddle the 1 s epoch grid at many offsets.
+    #[test]
+    fn batch_matches_scalar_fast_path(
+        p in 0.0f64..0.15,
+        burst in 0.25f64..0.7,
+        seed in 0u64..500,
+        spacing_us in 300u64..5_000,
+    ) {
+        let ts = times(3 * BATCH_LEN + 17, spacing_us);
+        let mk = || PathChannel::new(hops(p, burst, seed), SmallRng::seed_from_u64(seed ^ 5));
+        prop_assert_eq!(batched(mk(), &ts), sequential(mk(), &ts));
+    }
+
+    /// The live-set columns carry the same information as the outcome
+    /// column: reconstructing outcomes from (now, idx, lost) is
+    /// byte-identical, in both fast and exact mode.
+    #[test]
+    fn live_set_columns_equal_outcome_column(
+        p in 0.0f64..0.15,
+        burst in 0.25f64..0.7,
+        seed in 0u64..500,
+        exact in any::<bool>(),
+    ) {
+        let ts = times(2 * BATCH_LEN + 31, 2_400);
+        let mk = || {
+            let rng = SmallRng::seed_from_u64(seed ^ 7);
+            if exact {
+                PathChannel::exact(hops(p, burst, seed), rng)
+            } else {
+                PathChannel::new(hops(p, burst, seed), rng)
+            }
+        };
+        prop_assert_eq!(live(mk(), &ts), batched(mk(), &ts));
+    }
+}
+
+/// Blackout edges: windows misaligned with the epoch grid (including one
+/// shorter than an epoch) classify identically under batch and scalar
+/// sends, packet for packet.
+#[test]
+fn batch_blackout_edges_match_scalar() {
+    let s = |ms: u64| SimTime::EPOCH + Dur::from_millis(ms);
+    let sched = BlackoutSchedule::new(vec![
+        (s(10_250), s(12_750)),
+        (s(20_400), s(20_700)),
+        (s(30_000), s(33_000)),
+    ]);
+    let mk = || {
+        let mut hop = HopChannel::ideal(1.0);
+        hop.blackouts = sched.clone();
+        PathChannel::new(vec![hop], SmallRng::seed_from_u64(3))
+    };
+    // 17 ms stride scans every window edge and epoch start over 40 s.
+    let ts = times(2_400, 17_000);
+    assert_eq!(batched(mk(), &ts), sequential(mk(), &ts));
+    assert_eq!(live(mk(), &ts), sequential(mk(), &ts));
+}

@@ -10,10 +10,21 @@ still compares; the check fails when the candidate costs more than
 MAX_RATIO (default 1.25) times the baseline. CI wall clocks are noisy, so
 the threshold is deliberately loose — this catches order-of-magnitude
 regressions (e.g. losing the fast path), not percent-level drift.
+
+Beyond wall clock, the packet-replay experiments (fig9, jitter) also get
+a packets_per_s floor: per-thread replay throughput must stay above
+PPS_FLOOR_FRACTION (0.6) of the baseline's. Wall time alone would let a
+packet-engine regression hide behind a faster world build; the throughput
+floor pins the batch fast path itself.
 """
 
 import json
 import sys
+
+# Experiments whose packets_per_s is a meaningful engine-throughput
+# signal (dominated by packet replay, not world builds or reductions).
+PPS_GUARDED = ("fig9", "jitter")
+PPS_FLOOR_FRACTION = 0.6
 
 
 def load(path):
@@ -58,8 +69,30 @@ def main():
             f" ({e['packets_per_s']:.0f}/s)"
         )
 
+    failures = []
     if ratio > max_ratio:
-        sys.exit(f"perf smoke FAILED: {ratio:.2f} > {max_ratio:.2f}")
+        failures.append(f"wall cost {ratio:.2f} > {max_ratio:.2f}")
+
+    base_by_name = {e["name"]: e for e in baseline["experiments"]}
+    cand_by_name = {e["name"]: e for e in candidate["experiments"]}
+    for name in PPS_GUARDED:
+        if name not in base_by_name or name not in cand_by_name:
+            continue
+        base_pps = base_by_name[name]["packets_per_s"] / max(baseline["threads"], 1)
+        cand_pps = cand_by_name[name]["packets_per_s"] / max(candidate["threads"], 1)
+        floor = PPS_FLOOR_FRACTION * base_pps
+        status = "OK" if cand_pps >= floor else "FAIL"
+        print(
+            f"  {name} throughput: {cand_pps:,.0f} pkts/s/thread"
+            f" (floor {floor:,.0f}, baseline {base_pps:,.0f}) {status}"
+        )
+        if cand_pps < floor:
+            failures.append(
+                f"{name} packets_per_s {cand_pps:,.0f} below floor {floor:,.0f}"
+            )
+
+    if failures:
+        sys.exit("perf smoke FAILED: " + "; ".join(failures))
     print("perf smoke OK")
 
 

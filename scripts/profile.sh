@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Flamegraph helper for the packet fast path.
+#
+# Usage: scripts/profile.sh [vns-bench args...]
+#   scripts/profile.sh fig9              # profile the fig9 campaign
+#   scripts/profile.sh --threads 1 all   # profile the whole suite
+#
+# Records with `perf` and folds with `inferno`/`flamegraph` when either
+# is installed; degrades to a plain `perf report` when no folder exists,
+# and to timing-only output when `perf` itself is unavailable (as in the
+# minimal CI container). The binary is always built with `--release`
+# plus debug info so frames resolve.
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT=${PROFILE_OUT:-target/profile}
+mkdir -p "$OUT"
+
+CARGO_PROFILE_RELEASE_DEBUG=true cargo build --offline --release -p vns-bench
+BIN=target/release/vns-bench
+ARGS=${*:-fig9}
+
+if ! command -v perf >/dev/null 2>&1; then
+    echo "profile.sh: 'perf' is not installed; falling back to wall-clock timing." >&2
+    echo "profile.sh: install linux-tools (perf) and re-run for a flamegraph." >&2
+    # shellcheck disable=SC2086  # ARGS is a user-supplied argv tail
+    exec time "$BIN" $ARGS
+fi
+
+# shellcheck disable=SC2086
+perf record -g --call-graph dwarf -o "$OUT/perf.data" "$BIN" $ARGS
+
+if command -v inferno-collapse-perf >/dev/null 2>&1; then
+    perf script -i "$OUT/perf.data" | inferno-collapse-perf | inferno-flamegraph \
+        > "$OUT/flame.svg"
+    echo "flamegraph: $OUT/flame.svg"
+elif command -v flamegraph.pl >/dev/null 2>&1; then
+    perf script -i "$OUT/perf.data" | stackcollapse-perf.pl | flamegraph.pl \
+        > "$OUT/flame.svg"
+    echo "flamegraph: $OUT/flame.svg"
+else
+    echo "profile.sh: no flamegraph folder found; showing perf report instead." >&2
+    perf report -i "$OUT/perf.data" --stdio | head -60
+fi
