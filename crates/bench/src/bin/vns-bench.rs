@@ -8,7 +8,16 @@
 //!      fig11 | fig12 | table1 | jitter | steady-state | failover |
 //!      adversarial | ablate-lp | ablate-best-external | ablate-geoip |
 //!      ablate-fec | ablate-l2 | ablate-mode | ablate-measurement |
-//!      ablate-auto-override | economics | setup-time | all
+//!      ablate-auto-override | economics | setup-time | scale-curve | all
+//! ```
+//!
+//! `scale-curve` sweeps a ladder of world scales up to `--scale` (e.g.
+//! `--scale 10 scale-curve` measures scales 1, 2, 5, 10), building each
+//! world with sharded delta convergence, running both verifier stages,
+//! and tabulating AS/prefix/session counts, convergence messages and
+//! rounds, wall clock, and peak RSS per rung.
+//!
+//! ```text
 //! ```
 //!
 //! Results print to stdout as labelled series/tables (see EXPERIMENTS.md
@@ -33,6 +42,8 @@ use vns_bench::experiments::{
 };
 use vns_bench::{World, WorldConfig};
 use vns_netsim::{Dur, Par};
+use vns_service::{EndpointTable, PathTable};
+use vns_verify::{verify_dataplane_with_service, DataplaneConfig, VerifyScope};
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -109,7 +120,8 @@ fn parse_args() -> Result<Opts, String> {
 const USAGE: &str = "usage: vns-bench [--seed N] [--scale F] [--sessions N] [--hosts N] [--days F] [--threads N] [--out DIR] <experiment>\n\
 experiments: fig3 as-congruence fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 table1 jitter\n\
              steady-state failover adversarial ablate-lp ablate-best-external ablate-geoip ablate-fec\n\
-             ablate-l2 ablate-mode ablate-measurement ablate-auto-override economics setup-time all\n\
+             ablate-l2 ablate-mode ablate-measurement ablate-auto-override economics setup-time\n\
+             scale-curve all\n\
 --threads 0 (default) uses every hardware thread; artefacts are byte-identical at any count";
 
 fn campaign_span(opts: &Opts) -> Dur {
@@ -120,6 +132,7 @@ fn campaign_span(opts: &Opts) -> Dur {
 #[derive(Debug)]
 struct ExpRecord {
     name: &'static str,
+    scale: f64,
     wall_s: f64,
     units: u64,
     packets: u64,
@@ -128,13 +141,21 @@ struct ExpRecord {
 /// Times `f` and samples the global work-unit and packet counters around
 /// it. Channels flush their packet tallies on drop, and every experiment
 /// drops its channels before returning, so the delta is complete.
-fn timed<T>(records: &mut Vec<ExpRecord>, name: &'static str, f: impl FnOnce() -> T) -> T {
+/// `scale` is recorded per row — experiments at the invocation's scale
+/// pass `opts.scale`; the scale-curve sweep stamps each rung's own value.
+fn timed<T>(
+    records: &mut Vec<ExpRecord>,
+    name: &'static str,
+    scale: f64,
+    f: impl FnOnce() -> T,
+) -> T {
     let units0 = vns_netsim::par::units_processed();
     let packets0 = vns_netsim::packets_sent();
     let t0 = Instant::now();
     let out = f();
     records.push(ExpRecord {
         name,
+        scale,
         wall_s: t0.elapsed().as_secs_f64(),
         units: vns_netsim::par::units_processed() - units0,
         packets: vns_netsim::packets_sent() - packets0,
@@ -164,8 +185,9 @@ fn campaigns_json(opts: &Opts, par: Par, records: &[ExpRecord], total_s: f64) ->
             0.0
         };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"units\": {}, \"units_per_s\": {tput:.1}, \"packets\": {}, \"packets_per_s\": {pkt_tput:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"scale\": {}, \"wall_s\": {:.3}, \"units\": {}, \"units_per_s\": {tput:.1}, \"packets\": {}, \"packets_per_s\": {pkt_tput:.0}}}{}\n",
             r.name,
+            r.scale,
             r.wall_s,
             r.units,
             r.packets,
@@ -213,6 +235,88 @@ fn write_campaigns(
     Ok(())
 }
 
+/// Peak resident set (`VmHWM`) in MiB from `/proc/self/status`, `0.0`
+/// where unavailable. Monotonic over the process lifetime, so in a sweep
+/// the per-rung value is the high-water mark *up to* that rung.
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// The control-plane scale sweep: builds the world at each rung of a
+/// fixed ladder up to `--scale`, runs both verifier stages on it, and
+/// tabulates size, convergence cost, wall clock and peak memory. Each
+/// rung lands in the perf ledger as `scale-build` / `scale-verify` rows
+/// stamped with the rung's own scale.
+fn scale_curve(opts: &Opts, rec: &mut Vec<ExpRecord>) -> Result<String, String> {
+    const LADDER: [f64; 7] = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+    let mut rungs: Vec<f64> = LADDER.iter().copied().filter(|s| *s < opts.scale).collect();
+    rungs.push(opts.scale);
+    let mut body = String::from(
+        "scale-curve: control-plane cost vs world scale (sharded delta convergence)\n\
+         scale    ases  prefixes  sessions  conv_msgs    rounds  build_s  verify_s  peak_rss_mib  verdict\n",
+    );
+    for &s in &rungs {
+        let t0 = Instant::now();
+        let w = timed(rec, "scale-build", s, || World::geo(opts.seed, s));
+        let build_s = t0.elapsed().as_secs_f64();
+        let ases = w.internet.as_count();
+        let prefixes = w.internet.prefixes().count();
+        let sessions = w
+            .internet
+            .net
+            .speaker_ids()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|id| {
+                w.internet
+                    .net
+                    .speaker(*id)
+                    .map_or(0, |sp| sp.peer_ids().count())
+            })
+            .sum::<usize>()
+            / 2;
+        let msgs: u64 = w.internet.convergence_log.iter().map(|c| c.messages).sum();
+        let rounds: u64 = w.internet.convergence_log.iter().map(|c| c.rounds).sum();
+        let t1 = Instant::now();
+        let ok = timed(rec, "scale-verify", s, || {
+            let control = vns_verify::verify(&w.internet, &w.vns);
+            let endpoints = EndpointTable::build(&w.internet, &w.vns);
+            let paths = PathTable::build(&w.internet, &w.vns, &endpoints);
+            let data = verify_dataplane_with_service(
+                &w.internet,
+                &w.vns,
+                &VerifyScope::default(),
+                &DataplaneConfig::default(),
+                &endpoints,
+                &paths,
+            );
+            control.passes() && data.passes()
+        });
+        let verify_s = t1.elapsed().as_secs_f64();
+        let verdict = if ok { "pass" } else { "FAIL" };
+        body.push_str(&format!(
+            "{s:<7} {ases:<5} {prefixes:<9} {sessions:<9} {msgs:<12} {rounds:<7} {build_s:<8.2} {verify_s:<9.2} {:<13.1} {verdict}\n",
+            peak_rss_mib(),
+        ));
+        eprintln!(
+            "scale {s}: {ases} ASes, {prefixes} prefixes, {sessions} sessions, \
+             {msgs} msgs / {rounds} rounds, build {build_s:.2}s, verify {verify_s:.2}s, {verdict}"
+        );
+        if !ok {
+            return Err(format!("scale-curve: verifier failed at scale {s}\n{body}"));
+        }
+    }
+    Ok(body)
+}
+
 /// Prints a result and, with `--out`, also writes it to `DIR/<cmd>.txt`
 /// so the series can be re-plotted without re-running.
 fn emit(opts: &Opts, cmd: &str, body: String) -> Result<(), String> {
@@ -238,49 +342,55 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
     match cmd {
         "fig3" => {
             let w = World::geo(opts.seed, opts.scale);
-            let r = timed(rec, "fig3", || fig3::run(&w, par));
+            let r = timed(rec, "fig3", opts.scale, || fig3::run(&w, par));
             emit(opts, cmd, r.to_string())?;
         }
         "as-congruence" => {
             let w = World::geo(opts.seed, opts.scale);
-            let r = timed(rec, "as-congruence", || congruence::run(&w, par));
+            let r = timed(rec, "as-congruence", opts.scale, || {
+                congruence::run(&w, par)
+            });
             emit(opts, cmd, r.to_string())?;
         }
         "fig4" => {
             let before = World::hot(opts.seed, opts.scale);
             let after = World::geo(opts.seed, opts.scale);
-            let r = timed(rec, "fig4", || fig4::run(&before, &after));
+            let r = timed(rec, "fig4", opts.scale, || fig4::run(&before, &after));
             emit(opts, cmd, r.to_string())?;
         }
         "fig5" => {
             let before = World::hot(opts.seed, opts.scale);
             let after = World::geo(opts.seed, opts.scale);
-            let r = timed(rec, "fig5", || fig5::run(&before, &after));
+            let r = timed(rec, "fig5", opts.scale, || fig5::run(&before, &after));
             emit(opts, cmd, r.to_string())?;
         }
         "fig6" => {
             let w = World::geo(opts.seed, opts.scale);
-            let r = timed(rec, "fig6", || fig6::run(&w, 3, par));
+            let r = timed(rec, "fig6", opts.scale, || fig6::run(&w, 3, par));
             emit(opts, cmd, r.to_string())?;
         }
         "fig7" => {
             let w = World::geo(opts.seed, opts.scale);
-            let r = timed(rec, "fig7", || fig7::run(&w, par));
+            let r = timed(rec, "fig7", opts.scale, || fig7::run(&w, par));
             emit(opts, cmd, r.to_string())?;
         }
         "fig9" => {
             let w = World::geo(opts.seed, opts.scale);
-            let r = timed(rec, "fig9", || fig9::run(&w, opts.sessions, par));
+            let r = timed(rec, "fig9", opts.scale, || {
+                fig9::run(&w, opts.sessions, par)
+            });
             emit(opts, cmd, r.to_string())?;
         }
         "fig10" => {
             let w = World::geo(opts.seed, opts.scale);
-            let nine = timed(rec, "fig10", || fig9::run(&w, opts.sessions, par));
+            let nine = timed(rec, "fig10", opts.scale, || {
+                fig9::run(&w, opts.sessions, par)
+            });
             emit(opts, cmd, fig10::run(&nine.sessions).to_string())?;
         }
         "fig11" => {
             let w = World::geo(opts.seed, opts.scale);
-            let data = timed(rec, "fig11", || {
+            let data = timed(rec, "fig11", opts.scale, || {
                 fig11::run_campaign(
                     &w,
                     opts.hosts_per_cell,
@@ -293,7 +403,7 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
         }
         "fig12" => {
             let w = World::geo(opts.seed, opts.scale);
-            let data = timed(rec, "fig12", || {
+            let data = timed(rec, "fig12", opts.scale, || {
                 fig11::run_campaign(
                     &w,
                     opts.hosts_per_cell,
@@ -306,7 +416,7 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
         }
         "table1" => {
             let w = World::geo(opts.seed, opts.scale);
-            let data = timed(rec, "table1", || {
+            let data = timed(rec, "table1", opts.scale, || {
                 fig11::run_campaign(
                     &w,
                     opts.hosts_per_cell,
@@ -325,7 +435,7 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
                 scale: opts.scale,
                 ..WorldConfig::default()
             };
-            let r = timed(rec, "failover", || failover::run(&cfg, par));
+            let r = timed(rec, "failover", opts.scale, || failover::run(&cfg, par));
             emit(opts, cmd, r.to_string())?;
         }
         "adversarial" => {
@@ -337,12 +447,14 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
                 scale: opts.scale,
                 ..WorldConfig::default()
             };
-            let r = timed(rec, "adversarial", || adversarial::run(&cfg, par));
+            let r = timed(rec, "adversarial", opts.scale, || {
+                adversarial::run(&cfg, par)
+            });
             emit(opts, cmd, r.to_string())?;
         }
         "jitter" => {
             let w = World::geo(opts.seed, opts.scale);
-            let r = timed(rec, "jitter", || {
+            let r = timed(rec, "jitter", opts.scale, || {
                 jitter::run(&w, opts.sessions.min(20), par)
             });
             emit(opts, cmd, r.to_string())?;
@@ -356,19 +468,24 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
                 ..WorldConfig::default()
             };
             let ss = steady_state::SteadyStateOpts::from_cli(opts.sessions, opts.days);
-            let r = timed(rec, "steady-state", || steady_state::run(&cfg, ss, par));
+            let r = timed(rec, "steady-state", opts.scale, || {
+                steady_state::run(&cfg, ss, par)
+            });
             emit(opts, cmd, r.to_string())?;
         }
         "ablate-lp" => emit(
             opts,
             cmd,
-            timed(rec, "ablate-lp", || ablate::lp_shape(opts.seed, opts.scale)).to_string(),
+            timed(rec, "ablate-lp", opts.scale, || {
+                ablate::lp_shape(opts.seed, opts.scale)
+            })
+            .to_string(),
         )?,
         "ablate-best-external" => {
             emit(
                 opts,
                 cmd,
-                timed(rec, "ablate-best-external", || {
+                timed(rec, "ablate-best-external", opts.scale, || {
                     ablate::best_external(opts.seed, opts.scale)
                 })
                 .to_string(),
@@ -377,17 +494,20 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
         "ablate-geoip" => emit(
             opts,
             cmd,
-            timed(rec, "ablate-geoip", || ablate::geoip(opts.seed, opts.scale)).to_string(),
+            timed(rec, "ablate-geoip", opts.scale, || {
+                ablate::geoip(opts.seed, opts.scale)
+            })
+            .to_string(),
         )?,
         "ablate-fec" => emit(
             opts,
             cmd,
-            timed(rec, "ablate-fec", || ablate::fec_arq(opts.seed)).to_string(),
+            timed(rec, "ablate-fec", opts.scale, || ablate::fec_arq(opts.seed)).to_string(),
         )?,
         "ablate-l2" => emit(
             opts,
             cmd,
-            timed(rec, "ablate-l2", || {
+            timed(rec, "ablate-l2", opts.scale, || {
                 ablate::l2_topology(opts.seed, opts.scale)
             })
             .to_string(),
@@ -395,7 +515,7 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
         "ablate-mode" => emit(
             opts,
             cmd,
-            timed(rec, "ablate-mode", || {
+            timed(rec, "ablate-mode", opts.scale, || {
                 ablate::mode_delay(opts.seed, opts.scale)
             })
             .to_string(),
@@ -404,7 +524,7 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
             emit(
                 opts,
                 cmd,
-                timed(rec, "ablate-measurement", || {
+                timed(rec, "ablate-measurement", opts.scale, || {
                     ablate::geo_vs_measurement(opts.seed, opts.scale, par)
                 })
                 .to_string(),
@@ -414,7 +534,7 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
             emit(
                 opts,
                 cmd,
-                timed(rec, "ablate-auto-override", || {
+                timed(rec, "ablate-auto-override", opts.scale, || {
                     ablate::auto_override(opts.seed, opts.scale, 30.0, par)
                 })
                 .to_string(),
@@ -423,7 +543,7 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
         "economics" => emit(
             opts,
             cmd,
-            timed(rec, "economics", || {
+            timed(rec, "economics", opts.scale, || {
                 ablate::economics(opts.seed, opts.scale)
             })
             .to_string(),
@@ -431,28 +551,48 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
         "setup-time" => emit(
             opts,
             cmd,
-            timed(rec, "setup-time", || {
+            timed(rec, "setup-time", opts.scale, || {
                 ablate::setup_time(opts.seed, opts.scale)
             })
             .to_string(),
         )?,
+        "scale-curve" => {
+            let body = scale_curve(opts, rec)?;
+            emit(opts, cmd, body)?;
+        }
         "all" => {
             // Share worlds/campaigns where possible to keep `all` fast.
             let before = World::hot(opts.seed, opts.scale);
             let w = World::geo(opts.seed, opts.scale);
-            println!("{}", timed(rec, "fig3", || fig3::run(&w, par)));
+            println!("{}", timed(rec, "fig3", opts.scale, || fig3::run(&w, par)));
             println!(
                 "{}",
-                timed(rec, "as-congruence", || congruence::run(&w, par))
+                timed(rec, "as-congruence", opts.scale, || congruence::run(
+                    &w, par
+                ))
             );
-            println!("{}", timed(rec, "fig4", || fig4::run(&before, &w)));
-            println!("{}", timed(rec, "fig5", || fig5::run(&before, &w)));
-            println!("{}", timed(rec, "fig6", || fig6::run(&w, 3, par)));
-            println!("{}", timed(rec, "fig7", || fig7::run(&w, par)));
-            let nine = timed(rec, "fig9", || fig9::run(&w, opts.sessions, par));
+            println!(
+                "{}",
+                timed(rec, "fig4", opts.scale, || fig4::run(&before, &w))
+            );
+            println!(
+                "{}",
+                timed(rec, "fig5", opts.scale, || fig5::run(&before, &w))
+            );
+            println!(
+                "{}",
+                timed(rec, "fig6", opts.scale, || fig6::run(&w, 3, par))
+            );
+            println!("{}", timed(rec, "fig7", opts.scale, || fig7::run(&w, par)));
+            let nine = timed(rec, "fig9", opts.scale, || {
+                fig9::run(&w, opts.sessions, par)
+            });
             println!("{nine}");
-            println!("{}", timed(rec, "fig10", || fig10::run(&nine.sessions)));
-            let data = timed(rec, "fig11", || {
+            println!(
+                "{}",
+                timed(rec, "fig10", opts.scale, || fig10::run(&nine.sessions))
+            );
+            let data = timed(rec, "fig11", opts.scale, || {
                 fig11::run_campaign(
                     &w,
                     opts.hosts_per_cell,
@@ -465,16 +605,16 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
             emit(
                 opts,
                 cmd,
-                timed(rec, "fig12", || fig12::run(&data)).to_string(),
+                timed(rec, "fig12", opts.scale, || fig12::run(&data)).to_string(),
             )?;
             emit(
                 opts,
                 cmd,
-                timed(rec, "table1", || table1::run(&data)).to_string(),
+                timed(rec, "table1", opts.scale, || table1::run(&data)).to_string(),
             )?;
             println!(
                 "{}",
-                timed(rec, "jitter", || jitter::run(
+                timed(rec, "jitter", opts.scale, || jitter::run(
                     &w,
                     opts.sessions.min(20),
                     par
@@ -482,72 +622,80 @@ fn run_one(opts: &Opts, cmd: &str, par: Par, rec: &mut Vec<ExpRecord>) -> Result
             );
             println!(
                 "{}",
-                timed(rec, "failover", || failover::run(&w.config, par))
+                timed(rec, "failover", opts.scale, || failover::run(
+                    &w.config, par
+                ))
             );
             println!(
                 "{}",
-                timed(rec, "adversarial", || adversarial::run(&w.config, par))
+                timed(rec, "adversarial", opts.scale, || adversarial::run(
+                    &w.config, par
+                ))
             );
             let ss = steady_state::SteadyStateOpts::from_cli(opts.sessions, opts.days);
             emit(
                 opts,
                 "steady-state",
-                timed(rec, "steady-state", || {
+                timed(rec, "steady-state", opts.scale, || {
                     steady_state::run(&w.config, ss, par)
                 })
                 .to_string(),
             )?;
             println!(
                 "{}",
-                timed(rec, "ablate-lp", || ablate::lp_shape(opts.seed, opts.scale))
-            );
-            println!(
-                "{}",
-                timed(rec, "ablate-best-external", || {
-                    ablate::best_external(opts.seed, opts.scale)
-                })
-            );
-            println!(
-                "{}",
-                timed(rec, "ablate-geoip", || ablate::geoip(opts.seed, opts.scale))
-            );
-            println!(
-                "{}",
-                timed(rec, "ablate-fec", || ablate::fec_arq(opts.seed))
-            );
-            println!(
-                "{}",
-                timed(rec, "ablate-l2", || {
-                    ablate::l2_topology(opts.seed, opts.scale)
-                })
-            );
-            println!(
-                "{}",
-                timed(rec, "ablate-mode", || {
-                    ablate::mode_delay(opts.seed, opts.scale)
-                })
-            );
-            println!(
-                "{}",
-                timed(rec, "ablate-measurement", || {
-                    ablate::geo_vs_measurement(opts.seed, opts.scale, par)
-                })
-            );
-            println!(
-                "{}",
-                timed(rec, "ablate-auto-override", || {
-                    ablate::auto_override(opts.seed, opts.scale, 30.0, par)
-                })
-            );
-            println!(
-                "{}",
-                timed(rec, "economics", || ablate::economics(
+                timed(rec, "ablate-lp", opts.scale, || ablate::lp_shape(
                     opts.seed, opts.scale
                 ))
             );
             println!(
                 "{}",
-                timed(rec, "setup-time", || {
+                timed(rec, "ablate-best-external", opts.scale, || {
+                    ablate::best_external(opts.seed, opts.scale)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-geoip", opts.scale, || ablate::geoip(
+                    opts.seed, opts.scale
+                ))
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-fec", opts.scale, || ablate::fec_arq(opts.seed))
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-l2", opts.scale, || {
+                    ablate::l2_topology(opts.seed, opts.scale)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-mode", opts.scale, || {
+                    ablate::mode_delay(opts.seed, opts.scale)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-measurement", opts.scale, || {
+                    ablate::geo_vs_measurement(opts.seed, opts.scale, par)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "ablate-auto-override", opts.scale, || {
+                    ablate::auto_override(opts.seed, opts.scale, 30.0, par)
+                })
+            );
+            println!(
+                "{}",
+                timed(rec, "economics", opts.scale, || ablate::economics(
+                    opts.seed, opts.scale
+                ))
+            );
+            println!(
+                "{}",
+                timed(rec, "setup-time", opts.scale, || {
                     ablate::setup_time(opts.seed, opts.scale)
                 })
             );

@@ -40,11 +40,14 @@ struct Opts {
     seed: u64,
     scale: f64,
     mode: RoutingMode,
+    monolithic: bool,
     quiet: bool,
 }
 
-const USAGE: &str =
-    "usage: vns-verify [control|dataplane|all] [--seed N] [--scale F] [--mode geo|hot] [--quiet]";
+const USAGE: &str = "usage: vns-verify [control|dataplane|all] [--seed N] [--scale F] \
+     [--mode geo|hot] [--monolithic] [--quiet]\n\
+     --monolithic converges with the reference activation-queue engine \
+     instead of the sharded one (differential debugging)";
 
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
@@ -52,6 +55,7 @@ fn parse_args() -> Result<Opts, String> {
         seed: 77,
         scale: 1.0,
         mode: RoutingMode::GeoColdPotato,
+        monolithic: false,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -81,6 +85,7 @@ fn parse_args() -> Result<Opts, String> {
                     other => return Err(format!("--mode: expected geo|hot, got {other}")),
                 }
             }
+            "--monolithic" => opts.monolithic = true,
             "--quiet" | "-q" => opts.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
@@ -101,6 +106,7 @@ fn run(opts: &Opts) -> ExitCode {
         ..WorldConfig::default()
     };
     cfg.vns.mode = opts.mode;
+    cfg.vns.monolithic_convergence = opts.monolithic;
     let world = World::build(cfg);
 
     let mut ok = true;

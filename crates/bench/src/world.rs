@@ -37,16 +37,40 @@ impl WorldConfig {
     }
 
     /// The topology config this world generates with.
+    ///
+    /// Below `scale = 1` every knob shrinks linearly — the historical
+    /// mapping, unchanged so existing worlds (and the committed campaign
+    /// baseline) stay byte-identical. Above `scale = 1` the mapping keeps
+    /// the Internet's *shape* realistic while the AS count grows:
+    ///
+    /// * the Tier-1 clique grows with √s (the real Internet added ASes
+    ///   ~1000× faster than Tier-1s);
+    /// * regional peering probabilities are damped by 1/s, holding the
+    ///   expected peer *degree* per AS constant, so session count — and
+    ///   with it Adj-RIB memory — grows linearly in s instead of
+    ///   quadratically.
     pub fn topo(&self) -> TopoConfig {
         let s = self.scale.max(0.05);
         let scaled = |n: usize| ((n as f64 * s).round() as usize).max(1);
+        let base = TopoConfig::default();
+        let damp = s.max(1.0); // 1 for s <= 1: legacy worlds untouched
         TopoConfig {
             seed: self.seed,
-            ltps: scaled(8).max(3),
+            // Convergence-engine knobs mirror the VNS config so one flag
+            // flips both convergence runs (generation + deployment).
+            convergence_threads: self.vns.convergence_threads,
+            monolithic_convergence: self.vns.monolithic_convergence,
+            ltps: if s <= 1.0 {
+                scaled(8).max(3)
+            } else {
+                ((8.0 * s.sqrt()).round() as usize).max(8)
+            },
             stps_per_region: scaled(6),
             cahps_per_region: scaled(14),
             ecs_per_region: scaled(12),
-            ..TopoConfig::default()
+            stp_peering_prob: base.stp_peering_prob / damp,
+            cahp_peering_prob: base.cahp_peering_prob / damp,
+            ..base
         }
     }
 }

@@ -39,9 +39,11 @@ pub mod trie;
 
 pub use decision::{compare_routes, select_best, Candidate, DecisionContext};
 pub use igp::IgpGraph;
-pub use net::{BgpNet, ConvergenceError, ConvergenceStats, PathError, SpeakerId};
+pub use net::{
+    BgpNet, ConvergenceError, ConvergenceStats, PathError, SpeakerId, DEFAULT_HOP_LIMIT,
+};
 pub use policy::{may_export, ExportScope, ImportAction, Policy, Relation};
 pub use prefix::Prefix;
-pub use route::{Asn, Community, Origin, RouteAttrs, RouteSource, DEFAULT_LOCAL_PREF};
+pub use route::{AsPath, Asn, Community, Origin, RouteAttrs, RouteSource, DEFAULT_LOCAL_PREF};
 pub use speaker::{ImportHook, Message, PeerConfig, PeerKind, Speaker};
-pub use trie::PrefixTrie;
+pub use trie::{PrefixTrie, ScanTable};

@@ -155,7 +155,7 @@ mod tests {
     fn attrs() -> RouteAttrs {
         RouteAttrs {
             local_pref: 0,
-            as_path: vec![],
+            as_path: vec![].into(),
             origin: Origin::Igp,
             med: 0,
             communities: vec![],

@@ -1,6 +1,8 @@
 //! Route attributes and identifiers.
 
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::policy::Relation;
 
@@ -22,6 +24,110 @@ pub struct SpeakerId(pub u32);
 impl fmt::Display for SpeakerId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "R{}", self.0)
+    }
+}
+
+/// An interned AS_PATH: an immutable, atomically reference-counted AS
+/// sequence, nearest AS first.
+///
+/// At Internet scale the same path is held by every candidate that carries
+/// it — per-candidate `Vec<Asn>` clones dominated `RouteAttrs` memory and
+/// copy time once worlds reached 10⁴ ASes. `AsPath` shares one allocation
+/// across the Adj-RIB-In entry, the Loc-RIB candidate, and every
+/// Adj-RIB-Out copy derived from it: `clone` is a refcount bump, and
+/// [`AsPath::prepend`] (the only mutation BGP ever performs) builds the
+/// one new allocation the protocol actually requires.
+///
+/// Derefs to `[Asn]`, so slice reads (`len`, `iter`, `first`, `contains`)
+/// work unchanged.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AsPath(Arc<[Asn]>);
+
+impl AsPath {
+    /// The empty path (locally originated routes).
+    pub fn empty() -> Self {
+        AsPath::default()
+    }
+
+    /// A new path with `asn` prepended — the eBGP export operation. The
+    /// receiver-side path is one element longer; the original is shared,
+    /// untouched.
+    #[must_use]
+    pub fn prepend(&self, asn: Asn) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(asn);
+        v.extend_from_slice(&self.0);
+        AsPath(v.into())
+    }
+
+    /// The path as a slice, nearest AS first.
+    pub fn as_slice(&self) -> &[Asn] {
+        &self.0
+    }
+}
+
+impl Deref for AsPath {
+    type Target = [Asn];
+
+    fn deref(&self) -> &[Asn] {
+        &self.0
+    }
+}
+
+impl From<Vec<Asn>> for AsPath {
+    fn from(v: Vec<Asn>) -> Self {
+        AsPath(v.into())
+    }
+}
+
+impl From<&[Asn]> for AsPath {
+    fn from(v: &[Asn]) -> Self {
+        AsPath(v.into())
+    }
+}
+
+impl<const N: usize> From<[Asn; N]> for AsPath {
+    fn from(v: [Asn; N]) -> Self {
+        AsPath(v.as_slice().into())
+    }
+}
+
+impl FromIterator<Asn> for AsPath {
+    fn from_iter<I: IntoIterator<Item = Asn>>(iter: I) -> Self {
+        AsPath(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq<Vec<Asn>> for AsPath {
+    fn eq(&self, other: &Vec<Asn>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl PartialEq<[Asn]> for AsPath {
+    fn eq(&self, other: &[Asn]) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[Asn; N]> for AsPath {
+    fn eq(&self, other: &[Asn; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.0.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a AsPath {
+    type Item = &'a Asn;
+    type IntoIter = std::slice::Iter<'a, Asn>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
     }
 }
 
@@ -59,8 +165,8 @@ pub const DEFAULT_LOCAL_PREF: u32 = 100;
 pub struct RouteAttrs {
     /// LOCAL_PREF — higher wins; meaningful only inside an AS.
     pub local_pref: u32,
-    /// AS_PATH, nearest AS first.
-    pub as_path: Vec<Asn>,
+    /// AS_PATH, nearest AS first (interned; see [`AsPath`]).
+    pub as_path: AsPath,
     /// ORIGIN attribute.
     pub origin: Origin,
     /// Multi-Exit Discriminator — lower wins, compared between routes from
@@ -85,7 +191,7 @@ impl RouteAttrs {
     pub fn originate(me: SpeakerId) -> Self {
         Self {
             local_pref: DEFAULT_LOCAL_PREF,
-            as_path: Vec::new(),
+            as_path: AsPath::empty(),
             origin: Origin::Igp,
             med: 0,
             communities: Vec::new(),
@@ -175,11 +281,35 @@ mod tests {
         let mut a = RouteAttrs::originate(SpeakerId(1));
         assert_eq!(a.neighbor_as(), None);
         assert_eq!(a.origin_as(), None);
-        a.as_path = vec![Asn(10), Asn(20), Asn(30)];
+        a.as_path = vec![Asn(10), Asn(20), Asn(30)].into();
         assert_eq!(a.neighbor_as(), Some(Asn(10)));
         assert_eq!(a.origin_as(), Some(Asn(30)));
         assert!(a.path_contains(Asn(20)));
         assert!(!a.path_contains(Asn(40)));
+    }
+
+    #[test]
+    fn as_path_prepend_shares_tail_allocation() {
+        let base: AsPath = vec![Asn(20), Asn(30)].into();
+        let longer = base.prepend(Asn(10));
+        assert_eq!(longer, vec![Asn(10), Asn(20), Asn(30)]);
+        // The original is untouched and clones are refcount bumps.
+        assert_eq!(base, vec![Asn(20), Asn(30)]);
+        let copy = longer.clone();
+        assert!(std::ptr::eq(copy.as_slice(), longer.as_slice()));
+    }
+
+    #[test]
+    fn as_path_slice_reads() {
+        let p: AsPath = vec![Asn(1), Asn(2)].into();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(p.contains(&Asn(2)));
+        assert_eq!(p.first(), Some(&Asn(1)));
+        assert_eq!(p.last(), Some(&Asn(2)));
+        assert!(AsPath::empty().is_empty());
+        let collected: Vec<Asn> = p.iter().copied().collect();
+        assert_eq!(p, collected);
     }
 
     #[test]

@@ -140,6 +140,16 @@ pub struct Speaker {
     session_costs: BTreeMap<SpeakerId, u64>,
     import_hook: Option<Box<dyn ImportHook>>,
     best_external: bool,
+    /// Skip the IGP-metric step of the decision process (step 6), the
+    /// `bgp bestpath igp-metric ignore` of real routers. Deployed on
+    /// route reflectors whose choice is re-advertised network-wide: a
+    /// vantage-dependent tie-break there lets two reflectors pick
+    /// different egresses for equally-preferred routes, and clients of
+    /// different reflectors then deflect traffic to each other — a stable
+    /// forwarding loop. With the metric ignored, ties fall through to the
+    /// vantage-independent steps (cluster list, sender id), so every
+    /// reflector picks the same egress.
+    ignore_igp_metric: bool,
     /// Whether iBGP-learned routes *originated inside this AS* (empty AS
     /// path, no ingress relation tag) are exported over eBGP. Multi-router
     /// transit providers announce their whole address space at every edge
@@ -165,6 +175,7 @@ impl Speaker {
             session_costs: BTreeMap::new(),
             import_hook: None,
             best_external: false,
+            ignore_igp_metric: false,
             export_own_ibgp: false,
             dirty: BTreeSet::new(),
         }
@@ -375,8 +386,25 @@ impl Speaker {
         self.dirty.extend(all);
     }
 
+    /// Enables/disables the IGP-metric decision step (step 6). See the
+    /// field doc: reflectors ignore it so their choice is
+    /// vantage-independent. Re-runs the decision process on every prefix.
+    pub fn set_ignore_igp_metric(&mut self, on: bool) {
+        self.ignore_igp_metric = on;
+        let all: Vec<Prefix> = self.adj_rib_in.keys().copied().collect();
+        self.dirty.extend(all);
+    }
+
+    /// Whether the IGP-metric decision step is skipped here.
+    pub fn ignores_igp_metric(&self) -> bool {
+        self.ignore_igp_metric
+    }
+
     /// Hot-potato exit cost for a candidate (decision step 6).
     fn exit_cost(&self, c: &Candidate) -> Option<u64> {
+        if self.ignore_igp_metric {
+            return Some(0);
+        }
         match c.source {
             RouteSource::Local => Some(0),
             RouteSource::Ebgp { peer, .. } => {
@@ -561,7 +589,7 @@ impl Speaker {
                 }
                 let mut attrs = candidate.attrs.clone();
                 crate::policy::strip_relation_tags(&mut attrs);
-                attrs.as_path.insert(0, self.asn);
+                attrs.as_path = attrs.as_path.prepend(self.asn);
                 attrs.local_pref = DEFAULT_LOCAL_PREF; // non-transitive
                 attrs.med = 0; // non-transitive
                 attrs.next_hop = self.id;

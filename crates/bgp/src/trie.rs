@@ -1,37 +1,63 @@
-//! A binary prefix trie with longest-prefix match.
+//! A path-compressed binary prefix trie with longest-prefix match.
 //!
 //! Forwarding lookups (`vns-topo` resolving a destination IP to a route)
-//! and the management interface's more-specific injection (Sec 3.2) both
-//! need longest-prefix match over tens of thousands of prefixes; a simple
-//! uncompressed binary trie is plenty at that scale and trivially correct.
+//! and the management interface's more-specific injection (Sec 3.2) need
+//! longest-prefix match over the whole routing table. At Internet scale
+//! (≥10⁵ prefixes) the old one-node-per-bit trie spent a node allocation
+//! and a pointer chase per *bit*; this version is a Patricia/radix trie:
+//! every node stores its full [`Prefix`] (the skip-string is implicit in
+//! the gap between a parent's length and a child's), so the structure
+//! holds one node per stored prefix plus at most one branch node per
+//! fork — `2n - 1` nodes worst case, and lookups touch at most one node
+//! per branching bit instead of one per address bit.
+//!
+//! Removal prunes: empty leaves are deleted and pass-through branch nodes
+//! are merged back into their single child, so adversarial churn
+//! (PR 8's forged-registry attack inserts and removes more-specifics all
+//! day) cannot bloat the trie. [`ScanTable`] is the deliberately naive
+//! linear-scan reference oracle the property tests compare against.
 
 use crate::prefix::Prefix;
 
 /// A map from [`Prefix`] to `V` supporting exact and longest-prefix lookups.
 #[derive(Debug, Clone)]
 pub struct PrefixTrie<V> {
-    root: Node<V>,
+    root: Option<Box<Node<V>>>,
     len: usize,
 }
 
 #[derive(Debug, Clone)]
 struct Node<V> {
+    /// The full prefix this node stands for. A child's length may exceed
+    /// its parent's by more than one — the bits in between are the
+    /// compressed skip-string, recoverable from the child's own address.
+    prefix: Prefix,
     value: Option<V>,
     children: [Option<Box<Node<V>>>; 2],
 }
 
 impl<V> Node<V> {
-    fn empty() -> Self {
-        Self {
-            value: None,
+    fn leaf(prefix: Prefix, value: V) -> Box<Self> {
+        Box::new(Self {
+            prefix,
+            value: Some(value),
             children: [None, None],
-        }
+        })
     }
 }
 
 /// Bit `i` (0 = most significant) of `addr`.
 fn bit(addr: u32, i: u8) -> usize {
     ((addr >> (31 - i)) & 1) as usize
+}
+
+/// Length of the longest common prefix of `a` and `b`, capped at the
+/// shorter of the two. Addresses are canonical (bits past the length are
+/// zero), so XOR-ing the raw words is exact up to the cap.
+fn common_len(a: &Prefix, b: &Prefix) -> u8 {
+    let cap = a.len().min(b.len());
+    let diff = a.addr() ^ b.addr();
+    (diff.leading_zeros() as u8).min(cap)
 }
 
 impl<V> Default for PrefixTrie<V> {
@@ -43,10 +69,7 @@ impl<V> Default for PrefixTrie<V> {
 impl<V> PrefixTrie<V> {
     /// Creates an empty trie.
     pub fn new() -> Self {
-        Self {
-            root: Node::empty(),
-            len: 0,
-        }
+        Self { root: None, len: 0 }
     }
 
     /// Number of stored prefixes.
@@ -59,83 +82,199 @@ impl<V> PrefixTrie<V> {
         self.len == 0
     }
 
-    /// Inserts `value` at `prefix`, returning the previous value if any.
-    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
-        let mut node = &mut self.root;
-        for i in 0..prefix.len() {
-            let b = bit(prefix.addr(), i);
-            node = node.children[b].get_or_insert_with(|| Box::new(Node::empty()));
+    /// Number of allocated nodes (stored prefixes plus branch points).
+    /// Bounded by `2 * len - 1`; the prune-on-remove tests assert the
+    /// bound holds after churn.
+    pub fn node_count(&self) -> usize {
+        fn count<V>(node: &Node<V>) -> usize {
+            1 + node
+                .children
+                .iter()
+                .flatten()
+                .map(|c| count(c))
+                .sum::<usize>()
         }
-        let old = node.value.replace(value);
-        if old.is_none() {
-            self.len += 1;
-        }
-        old
+        self.root.as_deref().map_or(0, count)
     }
 
-    /// Removes the value at exactly `prefix`.
-    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
-        // Simple non-compacting removal: orphan interior nodes are left in
-        // place (fine for our workloads, which rarely delete).
-        let mut node = &mut self.root;
-        for i in 0..prefix.len() {
-            let b = bit(prefix.addr(), i);
-            node = node.children[b].as_deref_mut()?;
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        enum Step {
+            Place,
+            Replace,
+            Descend(usize),
+            Splice(u8),
         }
-        let old = node.value.take();
+        let mut slot = &mut self.root;
+        loop {
+            let step = match slot.as_deref() {
+                None => Step::Place,
+                Some(node) => {
+                    let cpl = common_len(&prefix, &node.prefix);
+                    if cpl == node.prefix.len() && cpl == prefix.len() {
+                        Step::Replace
+                    } else if cpl == node.prefix.len() {
+                        // The node's prefix covers ours: descend along our
+                        // next bit.
+                        Step::Descend(bit(prefix.addr(), node.prefix.len()))
+                    } else {
+                        Step::Splice(cpl)
+                    }
+                }
+            };
+            match step {
+                Step::Place => {
+                    *slot = Some(Node::leaf(prefix, value));
+                    self.len += 1;
+                    return None;
+                }
+                Step::Replace => {
+                    let node = slot.as_deref_mut().expect("node present");
+                    let old = node.value.replace(value);
+                    if old.is_none() {
+                        self.len += 1;
+                    }
+                    return old;
+                }
+                Step::Descend(b) => {
+                    slot = &mut slot.as_deref_mut().expect("node present").children[b];
+                }
+                Step::Splice(cpl) => {
+                    // The new prefix diverges above this node: splice in
+                    // either the new prefix itself (when it covers the node)
+                    // or a valueless branch node at the fork bit.
+                    let old = slot.take().expect("node present");
+                    let b_old = bit(old.prefix.addr(), cpl);
+                    let new = if cpl == prefix.len() {
+                        let mut new = Node::leaf(prefix, value);
+                        new.children[b_old] = Some(old);
+                        new
+                    } else {
+                        let mut fork = Box::new(Node {
+                            prefix: Prefix::new(prefix.addr(), cpl),
+                            value: None,
+                            children: [None, None],
+                        });
+                        fork.children[b_old] = Some(old);
+                        fork.children[bit(prefix.addr(), cpl)] = Some(Node::leaf(prefix, value));
+                        fork
+                    };
+                    *slot = Some(new);
+                    self.len += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Removes the value at exactly `prefix`, pruning any node the removal
+    /// leaves empty and merging pass-through branch nodes into their only
+    /// child (the trie never retains structure for prefixes it no longer
+    /// stores).
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        fn rec<V>(slot: &mut Option<Box<Node<V>>>, prefix: &Prefix) -> Option<V> {
+            let node = slot.as_deref_mut()?;
+            let cpl = common_len(prefix, &node.prefix);
+            let old = if cpl == node.prefix.len() && cpl == prefix.len() {
+                node.value.take()
+            } else if cpl == node.prefix.len() {
+                rec(
+                    &mut node.children[bit(prefix.addr(), node.prefix.len())],
+                    prefix,
+                )
+            } else {
+                return None;
+            };
+            if node.value.is_none() {
+                match (node.children[0].is_some(), node.children[1].is_some()) {
+                    (false, false) => *slot = None,
+                    (true, false) => *slot = node.children[0].take(),
+                    (false, true) => *slot = node.children[1].take(),
+                    (true, true) => {}
+                }
+            }
+            old
+        }
+        let old = rec(&mut self.root, prefix);
         if old.is_some() {
             self.len -= 1;
         }
         old
     }
 
+    /// Walks to the node holding exactly `prefix`.
+    fn find(&self, prefix: &Prefix) -> Option<&Node<V>> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            let cpl = common_len(prefix, &node.prefix);
+            if cpl == node.prefix.len() && cpl == prefix.len() {
+                return Some(node);
+            }
+            if cpl != node.prefix.len() {
+                return None;
+            }
+            node = node.children[bit(prefix.addr(), node.prefix.len())].as_deref()?;
+        }
+    }
+
     /// Exact-match lookup.
     pub fn get(&self, prefix: &Prefix) -> Option<&V> {
-        let mut node = &self.root;
-        for i in 0..prefix.len() {
-            let b = bit(prefix.addr(), i);
-            node = node.children[b].as_deref()?;
-        }
-        node.value.as_ref()
+        self.find(prefix)?.value.as_ref()
     }
 
     /// Exact-match mutable lookup.
     pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut V> {
-        let mut node = &mut self.root;
-        for i in 0..prefix.len() {
-            let b = bit(prefix.addr(), i);
-            node = node.children[b].as_deref_mut()?;
+        let mut node = self.root.as_deref_mut()?;
+        loop {
+            let cpl = common_len(prefix, &node.prefix);
+            if cpl == node.prefix.len() && cpl == prefix.len() {
+                return node.value.as_mut();
+            }
+            if cpl != node.prefix.len() {
+                return None;
+            }
+            node = node.children[bit(prefix.addr(), node.prefix.len())].as_deref_mut()?;
         }
-        node.value.as_mut()
     }
 
     /// Longest-prefix match for a host address: the most specific stored
-    /// prefix containing `ip`, with its value.
+    /// prefix containing `ip`, with its value. A stored `/0` default route
+    /// matches every address but is shadowed by any more-specific hit.
     pub fn lookup(&self, ip: u32) -> Option<(Prefix, &V)> {
-        let mut node = &self.root;
         let mut best: Option<(Prefix, &V)> = None;
-        if let Some(v) = &node.value {
-            best = Some((Prefix::DEFAULT, v));
-        }
-        for i in 0..32u8 {
-            let b = bit(ip, i);
-            match node.children[b].as_deref() {
-                Some(child) => {
-                    node = child;
-                    if let Some(v) = &node.value {
-                        best = Some((Prefix::new(ip, i + 1), v));
-                    }
-                }
+        let mut node = self.root.as_deref()?;
+        loop {
+            if !node.prefix.contains(ip) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                best = Some((node.prefix, v));
+            }
+            if node.prefix.len() >= 32 {
+                break;
+            }
+            match node.children[bit(ip, node.prefix.len())].as_deref() {
+                Some(child) => node = child,
                 None => break,
             }
         }
         best
     }
 
-    /// Iterates over all `(prefix, value)` pairs in address order.
+    /// Iterates over all `(prefix, value)` pairs in `(addr, len)` order.
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
-        let mut out = Vec::new();
-        collect(&self.root, 0, 0, &mut out);
+        fn collect<'a, V>(node: &'a Node<V>, out: &mut Vec<(Prefix, &'a V)>) {
+            if let Some(v) = &node.value {
+                out.push((node.prefix, v));
+            }
+            for child in node.children.iter().flatten() {
+                collect(child, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        if let Some(root) = self.root.as_deref() {
+            collect(root, &mut out);
+        }
         out.into_iter()
     }
 
@@ -145,18 +284,74 @@ impl<V> PrefixTrie<V> {
     }
 }
 
-fn collect<'a, V>(node: &'a Node<V>, addr: u32, len: u8, out: &mut Vec<(Prefix, &'a V)>) {
-    if let Some(v) = &node.value {
-        out.push((Prefix::new(addr, len), v));
+/// The linear-scan reference oracle: the same map contract as
+/// [`PrefixTrie`], implemented as an unordered `Vec` scan — slow, but so
+/// simple it is obviously correct. The trie property tests drive both
+/// structures with identical operation sequences and require identical
+/// observations; this is the model side of that comparison.
+#[derive(Debug, Clone, Default)]
+pub struct ScanTable<V> {
+    entries: Vec<(Prefix, V)>,
+}
+
+impl<V> ScanTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
     }
-    if len >= 32 {
-        return;
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
     }
-    if let Some(c) = node.children[0].as_deref() {
-        collect(c, addr, len + 1, out);
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
-    if let Some(c) = node.children[1].as_deref() {
-        collect(c, addr | (1 << (31 - len)), len + 1, out);
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        for (p, v) in &mut self.entries {
+            if *p == prefix {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((prefix, value));
+        None
+    }
+
+    /// Removes the value at exactly `prefix`.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        let i = self.entries.iter().position(|(p, _)| p == prefix)?;
+        Some(self.entries.swap_remove(i).1)
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        self.entries
+            .iter()
+            .find(|(p, _)| p == prefix)
+            .map(|(_, v)| v)
+    }
+
+    /// Longest-prefix match by scanning every entry.
+    pub fn lookup(&self, ip: u32) -> Option<(Prefix, &V)> {
+        self.entries
+            .iter()
+            .filter(|(p, _)| p.contains(ip))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, v)| (*p, v))
+    }
+
+    /// All stored prefixes in `(addr, len)` order, matching
+    /// [`PrefixTrie::prefixes`].
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        let mut out: Vec<Prefix> = self.entries.iter().map(|(p, _)| *p).collect();
+        out.sort();
+        out
     }
 }
 
@@ -179,6 +374,7 @@ mod tests {
         assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
         assert!(t.is_empty());
         assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+        assert_eq!(t.node_count(), 0);
     }
 
     #[test]
@@ -206,11 +402,32 @@ mod tests {
     }
 
     #[test]
+    fn default_route_shadowed_then_reexposed() {
+        // /0 must lose to any more-specific and win again once the
+        // more-specific is removed — the LPM shape PR 8's forged-registry
+        // attack churns all day.
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::DEFAULT, "default");
+        t.insert(p("10.0.0.0/8"), "ten");
+        t.insert(p("10.1.0.0/16"), "ten-one");
+        assert_eq!(t.lookup(0x0a010001).unwrap().1, &"ten-one");
+        t.remove(&p("10.1.0.0/16"));
+        assert_eq!(t.lookup(0x0a010001).unwrap().1, &"ten");
+        t.remove(&p("10.0.0.0/8"));
+        assert_eq!(t.lookup(0x0a010001).unwrap().1, &"default");
+        assert_eq!(t.lookup(0x0a010001).unwrap().0, Prefix::DEFAULT);
+    }
+
+    #[test]
     fn slash32() {
         let mut t = PrefixTrie::new();
         t.insert(p("1.2.3.4/32"), "host");
         assert_eq!(t.lookup(0x01020304).unwrap().1, &"host");
         assert_eq!(t.lookup(0x01020305), None);
+        // A /32 differing in only the last bit forks at bit 31.
+        t.insert(p("1.2.3.5/32"), "other");
+        assert_eq!(t.lookup(0x01020305).unwrap().1, &"other");
+        assert_eq!(t.lookup(0x01020304).unwrap().1, &"host");
     }
 
     #[test]
@@ -227,51 +444,63 @@ mod tests {
     }
 
     #[test]
-    fn lpm_matches_naive_scan_on_random_data() {
+    fn node_count_is_compressed() {
+        // n stored prefixes never need more than 2n-1 nodes, however deep
+        // the prefixes are — the one-node-per-bit trie used ~24 nodes for
+        // a lone /24.
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), 0);
+        assert_eq!(t.node_count(), 1);
+        t.insert(p("10.1.3.0/24"), 1);
+        // Two leaves plus the fork at /23.
+        assert_eq!(t.node_count(), 3);
+        t.insert(p("10.1.2.0/23"), 2);
+        // The fork node now carries the /23 value — still 3 nodes.
+        assert_eq!(t.node_count(), 3);
+        assert!(t.node_count() < 2 * t.len());
+    }
+
+    #[test]
+    fn remove_prunes_chains() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 0);
+        let baseline = t.node_count();
+        // Adversarial more-specific churn: deep injections then removal.
+        for i in 0..64u32 {
+            t.insert(Prefix::new(0x0a00_0000 | (i << 8), 24), i);
+            t.insert(Prefix::new(0x0a00_0000 | (i << 8) | 0x80, 25), i);
+        }
+        assert!(t.node_count() < 2 * t.len());
+        for i in 0..64u32 {
+            t.remove(&Prefix::new(0x0a00_0000 | (i << 8), 24));
+            t.remove(&Prefix::new(0x0a00_0000 | (i << 8) | 0x80, 25));
+        }
+        // Everything the churn added is gone, structure included.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.node_count(), baseline);
+    }
+
+    #[test]
+    fn lpm_matches_scan_oracle_on_random_data() {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(99);
         let mut t = PrefixTrie::new();
-        let mut table = Vec::new();
+        let mut oracle = ScanTable::new();
         for i in 0..500 {
-            let len = rng.gen_range(8..=28);
+            // Full length range: /0 default routes through /32 hosts.
+            let len = rng.gen_range(0..=32);
             let addr: u32 = rng.gen();
             let pre = Prefix::new(addr, len);
-            t.insert(pre, i);
-            table.push((pre, i));
+            assert_eq!(t.insert(pre, i), oracle.insert(pre, i));
         }
-        // Duplicate prefixes overwrite in the trie; keep the last value in
-        // the naive table too.
-        let naive_lookup = |ip: u32| {
-            table
-                .iter()
-                .filter(|(pre, _)| pre.contains(ip))
-                .max_by_key(|(pre, _)| pre.len())
-                .map(|(pre, _)| {
-                    // Resolve duplicates at max length by taking the last
-                    // inserted entry of that exact prefix.
-                    let v = table
-                        .iter()
-                        .rev()
-                        .find(|(q, _)| q == pre)
-                        .map(|(_, v)| *v)
-                        .unwrap();
-                    (*pre, v)
-                })
-        };
+        assert_eq!(t.len(), oracle.len());
+        assert_eq!(t.prefixes(), oracle.prefixes());
         for _ in 0..2000 {
             let ip: u32 = rng.gen();
             let got = t.lookup(ip).map(|(p, v)| (p, *v));
-            let want = naive_lookup(ip);
-            match (got, want) {
-                (None, None) => {}
-                (Some((gp, gv)), Some((wp, wv))) => {
-                    assert_eq!(gp.len(), wp.len(), "match specificity differs for {ip:#x}");
-                    assert_eq!(gp, wp);
-                    assert_eq!(gv, wv);
-                }
-                other => panic!("mismatch for {ip:#x}: {other:?}"),
-            }
+            let want = oracle.lookup(ip).map(|(p, v)| (p, *v));
+            assert_eq!(got, want, "lookup mismatch for {ip:#x}");
         }
     }
 }

@@ -161,7 +161,7 @@ fn med_steers_between_parallel_sessions() {
         prefix,
         attrs: RouteAttrs {
             local_pref: 100,
-            as_path: vec![Asn(1)],
+            as_path: vec![Asn(1)].into(),
             origin: Origin::Igp,
             med,
             communities: vec![],

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use vns_bgp::{
     compare_routes, may_export, Asn, Candidate, DecisionContext, Origin, Prefix, PrefixTrie,
-    Relation, RouteAttrs, RouteSource, SpeakerId,
+    Relation, RouteAttrs, RouteSource, ScanTable, SpeakerId,
 };
 
 fn prefix() -> impl Strategy<Value = Prefix> {
@@ -89,28 +89,43 @@ proptest! {
     }
 
     #[test]
-    fn trie_matches_naive_scan(
-        entries in prop::collection::vec((any::<u32>(), 4u8..=28), 1..120),
+    fn trie_matches_scan_oracle(
+        // Ops over a deliberately collision-heavy space (few distinct
+        // addresses, full /0..=/32 length range) so inserts overwrite,
+        // removes hit, and default routes and host routes both occur.
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u32..64, 0u8..=32),
+            1..200
+        ),
         probes in prop::collection::vec(any::<u32>(), 1..60)
     ) {
         let mut trie = PrefixTrie::new();
-        let mut table: Vec<(Prefix, usize)> = Vec::new();
-        for (i, (addr, len)) in entries.iter().enumerate() {
-            let p = Prefix::new(*addr, *len);
-            trie.insert(p, i);
-            table.retain(|(q, _)| *q != p);
-            table.push((p, i));
+        let mut oracle = ScanTable::new();
+        for (i, (is_insert, addr_sel, len)) in ops.iter().enumerate() {
+            // Spread the few address selectors across the whole space so
+            // short and long prefixes overlap.
+            let addr = addr_sel.rotate_right(6).wrapping_mul(0x9e37_79b9);
+            let p = Prefix::new(addr, *len);
+            if *is_insert {
+                prop_assert_eq!(trie.insert(p, i), oracle.insert(p, i));
+            } else {
+                prop_assert_eq!(trie.remove(&p), oracle.remove(&p));
+            }
+            prop_assert_eq!(trie.len(), oracle.len());
+            prop_assert_eq!(trie.get(&p).copied(), oracle.get(&p).copied());
         }
+        // Structure bound: path compression plus prune-on-remove keeps
+        // node count within 2n-1 whatever the op history was.
+        if !trie.is_empty() {
+            prop_assert!(trie.node_count() < 2 * trie.len());
+        } else {
+            prop_assert_eq!(trie.node_count(), 0);
+        }
+        // Iteration agrees entry-for-entry.
+        prop_assert_eq!(trie.prefixes(), oracle.prefixes());
         for ip in probes {
             let got = trie.lookup(ip).map(|(p, v)| (p, *v));
-            let want = table
-                .iter()
-                .filter(|(p, _)| p.contains(ip))
-                .max_by_key(|(p, _)| p.len())
-                .map(|(p, v)| (*p, *v));
-            // Compare specificity (value may differ only if two distinct
-            // prefixes had equal length — impossible for canonical prefixes
-            // containing the same ip at the same length).
+            let want = oracle.lookup(ip).map(|(p, v)| (p, *v));
             prop_assert_eq!(got, want);
         }
     }

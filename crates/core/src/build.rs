@@ -172,11 +172,19 @@ pub fn build_vns(internet: &mut Internet, config: &VnsConfig) -> Result<Vns, Con
                 config.lp_fn,
                 Arc::clone(&overrides),
             );
-            internet
-                .net
-                .speaker_mut(rr)
-                .expect("rr exists")
-                .set_import_hook(Box::new(hook));
+            let speaker = internet.net.speaker_mut(rr).expect("rr exists");
+            speaker.set_import_hook(Box::new(hook));
+            // Geo mode overrides hot potato, so the reflectors' own IGP
+            // position must not leak into their choice: with two
+            // reflectors at different sites, a vantage-dependent
+            // tie-break between equally geo-preferred egresses lets each
+            // reflector pick a different one, and the two egresses —
+            // each preferring the other's reflected route over its own
+            // eBGP route (geo LOCAL_PREF > default) — then deflect
+            // traffic to each other in a stable forwarding loop. The
+            // `igp-metric ignore` knob makes every reflector resolve the
+            // tie identically (cluster list, then sender id).
+            speaker.set_ignore_igp_metric(true);
         }
     }
 
@@ -369,7 +377,20 @@ pub fn build_vns(internet: &mut Internet, config: &VnsConfig) -> Result<Vns, Con
     internet.as_info_mut(as_id).prefixes.extend(echo_prefixes);
 
     // --- Converge ----------------------------------------------------------------
-    internet.net.run(config.message_budget)?;
+    // Fold the VNS routers into the per-region shard map (their PoP cities
+    // place them), then reconverge incrementally and in parallel: only the
+    // speakers the deployment touched start active.
+    internet.assign_region_shards();
+    let stats = if config.monolithic_convergence {
+        internet.net.run(config.message_budget)?
+    } else {
+        let threads = match config.convergence_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        internet.net.run_sharded(config.message_budget, threads)?
+    };
+    internet.convergence_log.push(stats);
 
     Ok(Vns::assemble(
         as_id,

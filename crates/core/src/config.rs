@@ -42,6 +42,15 @@ pub struct VnsConfig {
     pub seed: u64,
     /// Message budget for convergence runs.
     pub message_budget: u64,
+    /// Worker threads for the sharded reconvergence after the deployment
+    /// is wired in ([`vns_bgp::BgpNet::run_sharded`]); `0` means one per
+    /// available hardware thread. Never affects the built world — only
+    /// wall-clock.
+    pub convergence_threads: usize,
+    /// Reconverge with the monolithic activation-queue engine
+    /// ([`vns_bgp::BgpNet::run`]) instead of the sharded one. A reference
+    /// oracle for differential tests; production builds leave this off.
+    pub monolithic_convergence: bool,
     /// Replace the paper's cluster topology (regional meshes + 5 long-haul
     /// circuits) with a full PoP mesh — the cost/quality ablation of the
     /// Sec 3.1 design choice.
@@ -60,6 +69,8 @@ impl Default for VnsConfig {
             london_us_upstream: true,
             seed: 0x5653_4e53, // "VSNS"
             message_budget: 100_000_000,
+            convergence_threads: 0,
+            monolithic_convergence: false,
             full_mesh_l2: false,
         }
     }

@@ -175,7 +175,7 @@ mod tests {
     fn attrs(next_hop: u32) -> RouteAttrs {
         RouteAttrs {
             local_pref: DEFAULT_LOCAL_PREF,
-            as_path: vec![Asn(7)],
+            as_path: vec![Asn(7)].into(),
             origin: Origin::Igp,
             med: 0,
             communities: vec![],

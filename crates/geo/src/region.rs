@@ -41,6 +41,20 @@ impl Region {
         Region::Africa,
     ];
 
+    /// This region's position in [`Region::ALL`] — a stable small integer
+    /// used as the convergence shard id for routers sited in the region.
+    pub fn index(&self) -> u32 {
+        match self {
+            Region::Europe => 0,
+            Region::NorthAmerica => 1,
+            Region::SouthAmerica => 2,
+            Region::AsiaPacific => 3,
+            Region::Oceania => 4,
+            Region::MiddleEast => 5,
+            Region::Africa => 6,
+        }
+    }
+
     /// Short code used in figure legends (`EU`, `NA`, `SA`, `AP`, `OC`,
     /// `ME`, `AF`).
     pub fn code(&self) -> &'static str {

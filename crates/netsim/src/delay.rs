@@ -181,7 +181,7 @@ impl DelaySampler {
     /// The fast path caches [`DelaySampler::mean_queue_ms`] per epoch (it
     /// walks the diurnal trig) and draws through this, which consumes the
     /// RNG exactly like [`DelaySampler::sample_ms`]: one `next_u64` per
-    /// packet through [`queue_draw`].
+    /// packet through `queue_draw`.
     pub fn sample_with_mean_ms(&self, mean_queue_ms: f64, rng: &mut SmallRng) -> f64 {
         self.base_ms + queue_draw(ln_tables(), mean_queue_ms, self.max_queue_ms, rng)
     }

@@ -66,6 +66,16 @@ pub struct TopoConfig {
     pub geoip_jitter_km: f64,
     /// Message budget for the initial BGP convergence.
     pub message_budget: u64,
+    /// Worker threads for the sharded initial convergence
+    /// ([`vns_bgp::BgpNet::run_sharded`]); `0` means one per available
+    /// hardware thread. The count never affects generated worlds — only
+    /// wall-clock — matching the campaign engine's determinism contract.
+    pub convergence_threads: usize,
+    /// Converge with the monolithic activation-queue engine
+    /// ([`vns_bgp::BgpNet::run`]) instead of the sharded one. A reference
+    /// oracle for differential tests — the two engines must produce
+    /// identical Loc-RIBs; production builds leave this off.
+    pub monolithic_convergence: bool,
 }
 
 impl Default for TopoConfig {
@@ -84,6 +94,8 @@ impl Default for TopoConfig {
             geoip_errors: true,
             geoip_jitter_km: 60.0,
             message_budget: 50_000_000,
+            convergence_threads: 0,
+            monolithic_convergence: false,
         }
     }
 }

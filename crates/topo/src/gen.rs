@@ -387,10 +387,26 @@ pub fn generate(config: &TopoConfig) -> Result<Internet, GenError> {
     }
 
     // --- 5. Converge -------------------------------------------------------
-    internet
-        .net
-        .run(config.message_budget)
-        .map_err(GenError::Convergence)?;
+    // Shard the control plane by world region and converge in parallel.
+    // Thread count never affects the generated world (see
+    // `BgpNet::run_sharded`), so auto-sizing to the machine is safe.
+    internet.assign_region_shards();
+    let stats = if config.monolithic_convergence {
+        internet
+            .net
+            .run(config.message_budget)
+            .map_err(GenError::Convergence)?
+    } else {
+        let threads = match config.convergence_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        internet
+            .net
+            .run_sharded(config.message_budget, threads)
+            .map_err(GenError::Convergence)?
+    };
+    internet.convergence_log.push(stats);
     Ok(internet)
 }
 

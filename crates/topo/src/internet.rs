@@ -90,6 +90,10 @@ pub struct Internet {
     prefix_table: PrefixTrie<PrefixInfo>,
     next_speaker: u32,
     next_asn: u32,
+    /// Stats of every convergence run over `net`, in order (topology
+    /// generation first, then each reconvergence — VNS build, failovers).
+    /// Lets scale tooling report message/round counts without re-running.
+    pub convergence_log: Vec<vns_bgp::ConvergenceStats>,
 }
 
 impl Default for Internet {
@@ -112,6 +116,7 @@ impl Internet {
             prefix_table: PrefixTrie::new(),
             next_speaker: 1,
             next_asn: 1,
+            convergence_log: Vec::new(),
         }
     }
 
@@ -169,6 +174,26 @@ impl Internet {
     pub fn register_router(&mut self, router: SpeakerId, as_id: AsId, city: CityId) {
         self.speaker_index.insert(router, as_id);
         self.router_city.insert(router, city);
+    }
+
+    /// Assigns every registered router to the convergence shard of its
+    /// city's world region (see [`vns_bgp::BgpNet::run_sharded`]), and
+    /// derives the [`vns_bgp::BgpNet::set_hop_limit`] bound from the
+    /// world's size: router-level paths cross each AS at most twice, so
+    /// `2·|AS| + 2` can never cut a legal path short, however deep the
+    /// provider chains get on scaled worlds. Idempotent; call again after
+    /// registering more routers (e.g. the VNS deployment's).
+    pub fn assign_region_shards(&mut self) {
+        let assignments: Vec<(SpeakerId, u32)> = self
+            .router_city
+            .iter()
+            .map(|(&sp, &c)| (sp, city(c).region.index()))
+            .collect();
+        for (sp, shard) in assignments {
+            self.net.set_shard(sp, shard);
+        }
+        let hop_limit = (2 * self.ases.len() as u32 + 2).max(vns_bgp::DEFAULT_HOP_LIMIT);
+        self.net.set_hop_limit(hop_limit);
     }
 
     /// Records interconnect geometry for a session between two speakers:

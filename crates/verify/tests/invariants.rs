@@ -37,7 +37,7 @@ fn reflector_external_prefix(internet: &Internet, vns: &Vns) -> Prefix {
 fn wire_attrs(as_path: Vec<Asn>, communities: Vec<Community>) -> RouteAttrs {
     RouteAttrs {
         local_pref: DEFAULT_LOCAL_PREF,
-        as_path,
+        as_path: as_path.into(),
         origin: Origin::Igp,
         med: 0,
         communities,

@@ -26,10 +26,24 @@ import sys
 PPS_GUARDED = ("fig9", "jitter")
 PPS_FLOOR_FRACTION = 0.6
 
+# Per-row wall ceiling for scale-sweep rungs: a single rung of the
+# scale-curve ledger (world build or verify at one scale) may not cost
+# more than this multiple of the same rung in the baseline. The whole-
+# ledger ratio would let a blowup at the largest scale hide behind fast
+# small rungs; this pins each scale individually.
+SCALE_ROW_GUARDED = ("scale-build", "scale-verify")
+SCALE_ROW_MAX_RATIO = 2.0
+
 
 def load(path):
     with open(path, encoding="utf-8") as f:
         return json.load(f)
+
+
+def row_key(ledger, e):
+    """Rows are keyed (name, scale); old-schema rows without a per-row
+    scale inherit the ledger-level one."""
+    return (e["name"], e.get("scale", ledger.get("scale")))
 
 
 def main():
@@ -73,22 +87,43 @@ def main():
     if ratio > max_ratio:
         failures.append(f"wall cost {ratio:.2f} > {max_ratio:.2f}")
 
-    base_by_name = {e["name"]: e for e in baseline["experiments"]}
-    cand_by_name = {e["name"]: e for e in candidate["experiments"]}
-    for name in PPS_GUARDED:
-        if name not in base_by_name or name not in cand_by_name:
+    base_by_key = {row_key(baseline, e): e for e in baseline["experiments"]}
+    cand_by_key = {row_key(candidate, e): e for e in candidate["experiments"]}
+    for key, base_row in base_by_key.items():
+        name, scale = key
+        if name not in PPS_GUARDED or key not in cand_by_key:
             continue
-        base_pps = base_by_name[name]["packets_per_s"] / max(baseline["threads"], 1)
-        cand_pps = cand_by_name[name]["packets_per_s"] / max(candidate["threads"], 1)
+        base_pps = base_row["packets_per_s"] / max(baseline["threads"], 1)
+        cand_pps = cand_by_key[key]["packets_per_s"] / max(candidate["threads"], 1)
         floor = PPS_FLOOR_FRACTION * base_pps
         status = "OK" if cand_pps >= floor else "FAIL"
         print(
-            f"  {name} throughput: {cand_pps:,.0f} pkts/s/thread"
+            f"  {name} (scale {scale}) throughput: {cand_pps:,.0f} pkts/s/thread"
             f" (floor {floor:,.0f}, baseline {base_pps:,.0f}) {status}"
         )
         if cand_pps < floor:
             failures.append(
                 f"{name} packets_per_s {cand_pps:,.0f} below floor {floor:,.0f}"
+            )
+
+    # Per-scale wall ceiling on scale-sweep rungs.
+    for key, base_row in sorted(base_by_key.items(), key=lambda kv: str(kv[0])):
+        name, scale = key
+        if name not in SCALE_ROW_GUARDED or key not in cand_by_key:
+            continue
+        base_cost = base_row["wall_s"] * max(baseline["threads"], 1)
+        cand_cost = cand_by_key[key]["wall_s"] * max(candidate["threads"], 1)
+        row_ratio = cand_cost / base_cost if base_cost > 0 else float("inf")
+        status = "OK" if row_ratio <= SCALE_ROW_MAX_RATIO else "FAIL"
+        print(
+            f"  {name} scale {scale}: {cand_cost:.1f} thread-seconds"
+            f" (baseline {base_cost:.1f}, ratio {row_ratio:.2f},"
+            f" limit {SCALE_ROW_MAX_RATIO:.2f}) {status}"
+        )
+        if row_ratio > SCALE_ROW_MAX_RATIO:
+            failures.append(
+                f"{name} at scale {scale} wall ratio"
+                f" {row_ratio:.2f} > {SCALE_ROW_MAX_RATIO:.2f}"
             )
 
     if failures:

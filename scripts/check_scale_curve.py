@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a fresh scale-curve table against the committed baseline.
+
+Usage: check_scale_curve.py BASELINE.txt CANDIDATE.txt
+
+Both files are `vns-bench scale-curve` outputs. The world at every rung
+is a pure function of (seed, scale) — thread count and machine speed must
+not move it — so the deterministic columns (ases, prefixes, sessions,
+conv_msgs, rounds) are compared EXACTLY, and every rung must report
+`pass` from both verifier stages. The exact conv_msgs match doubles as
+the message ceiling: convergence cost cannot creep past the committed
+curve unnoticed. Wall clock and peak RSS are machine-dependent and are
+not compared here (the CI job's timeout is the wall ceiling).
+"""
+
+import sys
+
+# Deterministic columns, by header name.
+EXACT = ("scale", "ases", "prefixes", "sessions", "conv_msgs", "rounds")
+
+
+def parse(path):
+    """Returns {scale: {column: value}} for the table body."""
+    with open(path, encoding="utf-8") as f:
+        lines = [l.rstrip("\n") for l in f if l.strip()]
+    header = None
+    rows = {}
+    for line in lines:
+        cols = line.split()
+        if cols[0] == "scale":
+            header = cols
+            continue
+        if header is None or not cols[0][0].isdigit():
+            continue
+        row = dict(zip(header, cols))
+        rows[row["scale"]] = row
+    if not rows:
+        sys.exit(f"{path}: no scale-curve rows found")
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = parse(sys.argv[1])
+    candidate = parse(sys.argv[2])
+
+    if set(baseline) != set(candidate):
+        sys.exit(
+            "scale rungs differ: baseline "
+            f"{sorted(baseline)} vs candidate {sorted(candidate)}"
+        )
+
+    failures = []
+    for scale in sorted(baseline, key=float):
+        b, c = baseline[scale], candidate[scale]
+        for col in EXACT:
+            if b[col] != c[col]:
+                failures.append(
+                    f"scale {scale}: {col} {c[col]} != baseline {b[col]}"
+                )
+        if c.get("verdict") != "pass":
+            failures.append(f"scale {scale}: verifier verdict {c.get('verdict')!r}")
+        print(
+            f"scale {scale}: {c['ases']} ASes, {c['prefixes']} prefixes, "
+            f"{c['sessions']} sessions, {c['conv_msgs']} msgs / "
+            f"{c['rounds']} rounds, {c.get('verdict')}"
+        )
+
+    if failures:
+        sys.exit("scale curve FAILED: " + "; ".join(failures))
+    print("scale curve OK: deterministic columns match the baseline exactly")
+
+
+if __name__ == "__main__":
+    main()
